@@ -1,0 +1,83 @@
+// Command graphgen generates synthetic graphs in the formats the other
+// tools consume.
+//
+// Usage:
+//
+//	graphgen -kind rmat -n 100000 -m 1000000 -o graph.bin
+//	graphgen -kind preset -preset lj -scale 2 -format txt -o lj.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/harness"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "rmat", "generator: rmat, uniform, preset")
+		n      = flag.Int("n", 10000, "vertex count (rmat/uniform)")
+		m      = flag.Uint64("m", 100000, "edge count (rmat/uniform)")
+		seed   = flag.Int64("seed", 42, "random seed")
+		preset = flag.String("preset", "lj", "preset abbreviation for -kind preset")
+		scale  = flag.Float64("scale", 1, "preset scale factor")
+		labels = flag.Int("labels", 0, "synthesize N random vertex labels (0 = unlabeled)")
+		format = flag.String("format", "bin", "output format: bin or txt")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "rmat":
+		g = graph.RMATDefault(*n, *m, *seed)
+	case "uniform":
+		g = graph.Uniform(*n, *m, *seed)
+	case "preset":
+		d, err := harness.GetDataset(*preset)
+		if err != nil {
+			fatal(err)
+		}
+		g = d.Generate(*scale)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if *labels > 0 {
+		var err error
+		g, err = g.WithLabels(graph.RandomLabels(g.NumVertices(), *labels, *seed+1))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %v\n", g)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "bin":
+		err = graph.WriteBinary(w, g)
+	case "txt":
+		err = graph.WriteEdgeList(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

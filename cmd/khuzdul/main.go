@@ -1,0 +1,202 @@
+// Command khuzdul runs one graph pattern mining job on the simulated
+// Khuzdul cluster.
+//
+// Usage examples:
+//
+//	khuzdul -graph rmat:100000:1000000 -app tc -nodes 8 -threads 4
+//	khuzdul -graph preset:lj -app cc -k 5 -system automine
+//	khuzdul -graph graph.bin -app pattern -pattern house -induced
+//	khuzdul -graph preset:mc -app fsm -support 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"khuzdul"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/harness"
+)
+
+func main() {
+	var (
+		graphSpec = flag.String("graph", "rmat:10000:100000", "input graph: FILE (.bin or edge list), rmat:N:M[:SEED], uniform:N:M[:SEED], or preset:ABBR")
+		app       = flag.String("app", "tc", "application: tc, cc, mc, pattern, fsm")
+		k         = flag.Int("k", 4, "pattern size for cc/mc")
+		patName   = flag.String("pattern", "triangle", "pattern name for -app pattern")
+		induced   = flag.Bool("induced", false, "induced matching semantics for -app pattern")
+		system    = flag.String("system", "graphpi", "client system: automine or graphpi")
+		nodes     = flag.Int("nodes", 8, "simulated machine count")
+		sockets   = flag.Int("sockets", 1, "NUMA sockets per machine")
+		threads   = flag.Int("threads", 2, "compute threads per socket")
+		chunk     = flag.Int("chunk", 0, "chunk capacity in embeddings (0 = default)")
+		cacheFrac = flag.Float64("cache", 0.1, "static cache size as fraction of graph size (0 disables)")
+		cachePol  = flag.String("cache-policy", "static", "cache policy: static, fifo, lifo, lru, mru")
+		cacheDeg  = flag.Uint("cache-threshold", 8, "static cache degree admission threshold")
+		noHDS     = flag.Bool("no-hds", false, "disable horizontal data sharing")
+		tcp       = flag.Bool("tcp", false, "use the loopback TCP fabric")
+		support   = flag.Uint64("support", 100, "FSM minimum support")
+		maxEdges  = flag.Int("max-edges", 3, "FSM maximum pattern edges")
+		labels    = flag.Int("labels", 0, "synthesize N random vertex labels (needed for fsm on unlabeled inputs)")
+		explain   = flag.Bool("explain", false, "print the compiled enumeration plan before running")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *labels > 0 {
+		g, err = g.WithLabels(graph.RandomLabels(g.NumVertices(), *labels, 1))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	eng, err := khuzdul.Open(g, khuzdul.Config{
+		Nodes:                *nodes,
+		Sockets:              *sockets,
+		Threads:              *threads,
+		ChunkSize:            *chunk,
+		CacheFraction:        *cacheFrac,
+		CachePolicy:          *cachePol,
+		CacheDegreeThreshold: uint32(*cacheDeg),
+		DisableHDS:           *noHDS,
+		TCP:                  *tcp,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	switch strings.ToLower(*system) {
+	case "automine":
+		eng.SetSystem(khuzdul.Automine)
+	case "graphpi":
+		eng.SetSystem(khuzdul.GraphPi)
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	if *explain {
+		p, err := explainTarget(*app, *k, *patName)
+		if err != nil {
+			fatal(err)
+		}
+		if p != nil {
+			s, err := eng.ExplainPattern(p, *induced)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(s)
+		}
+	}
+
+	switch strings.ToLower(*app) {
+	case "tc":
+		report(eng.Triangles())
+	case "cc":
+		report(eng.Cliques(*k))
+	case "mc":
+		per, combined, err := eng.Motifs(*k)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range per {
+			fmt.Printf("  %v: %d\n", m.Pattern, m.Count)
+		}
+		report(combined, nil)
+	case "pattern":
+		p, err := khuzdul.ParsePattern(*patName)
+		if err != nil {
+			fatal(err)
+		}
+		report(eng.CountPattern(p, *induced))
+	case "fsm":
+		fps, elapsed, err := eng.MineFrequent(*support, *maxEdges)
+		if err != nil {
+			fatal(err)
+		}
+		for _, fp := range fps {
+			fmt.Printf("  %v support=%d\n", fp.Pattern, fp.Support)
+		}
+		fmt.Printf("frequent patterns: %d in %v\n", len(fps), elapsed)
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+}
+
+// explainTarget resolves the single pattern an -explain request refers to
+// (nil for multi-pattern apps, which print nothing).
+func explainTarget(app string, k int, patName string) (*khuzdul.Pattern, error) {
+	switch strings.ToLower(app) {
+	case "tc":
+		return khuzdul.ParsePattern("triangle")
+	case "cc":
+		return khuzdul.Clique(k), nil
+	case "pattern":
+		return khuzdul.ParsePattern(patName)
+	default:
+		return nil, nil
+	}
+}
+
+func report(res khuzdul.Result, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("count: %d\nelapsed: %v\ntraffic: %s\ncache hit rate: %.1f%%\nextensions: %d\n",
+		res.Count, res.Elapsed, harness.FmtBytes(res.TrafficBytes),
+		100*res.CacheHitRate, res.Extensions)
+}
+
+func loadGraph(spec string) (*khuzdul.Graph, error) {
+	switch {
+	case strings.HasPrefix(spec, "rmat:"), strings.HasPrefix(spec, "uniform:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("bad graph spec %q (want kind:N:M[:SEED])", spec)
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		m, err2 := strconv.ParseUint(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad graph spec %q", spec)
+		}
+		seed := int64(42)
+		if len(parts) > 3 {
+			s, err := strconv.ParseInt(parts[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad seed in %q", spec)
+			}
+			seed = s
+		}
+		if strings.HasPrefix(spec, "rmat:") {
+			return khuzdul.RMAT(n, m, seed), nil
+		}
+		return khuzdul.Uniform(n, m, seed), nil
+	case strings.HasPrefix(spec, "preset:"):
+		d, err := harness.GetDataset(strings.TrimPrefix(spec, "preset:"))
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(1), nil
+	default:
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(spec, ".bin") {
+			return khuzdul.ReadBinary(f)
+		}
+		return khuzdul.ReadEdgeList(f)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "khuzdul:", err)
+	os.Exit(1)
+}

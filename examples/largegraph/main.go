@@ -1,0 +1,48 @@
+// Large-graph clique counting with orientation preprocessing — the paper's
+// Table 5 workflow: convert the graph to a DAG ordered by degree, which
+// bounds intersection sizes and removes the need for symmetry-breaking, then
+// count triangles and 4-cliques on a larger simulated cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"khuzdul"
+	"khuzdul/internal/apps"
+	"khuzdul/internal/cluster"
+)
+
+func main() {
+	// The largest graph this example builds: ~250k vertices, ~2M edges,
+	// heavily skewed (the WDC12 stand-in shape).
+	g := khuzdul.RMAT(250_000, 2_000_000, 17)
+	fmt.Println("input:", g)
+
+	t0 := time.Now()
+	dag := khuzdul.Orient(g)
+	fmt.Printf("oriented to DAG in %v (max out-degree %d, was %d)\n",
+		time.Since(t0), dag.MaxDegree(), g.MaxDegree())
+
+	// 18 simulated machines as in the paper's large-graph cluster.
+	c, err := cluster.New(dag, cluster.Config{
+		NumNodes:             18,
+		ThreadsPerSocket:     2,
+		CacheFraction:        0.04, // the paper shrinks the cache for massive graphs
+		CacheDegreeThreshold: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, k := range []int{3, 4} {
+		res, err := apps.OrientedCliqueCount(c, k, apps.KAutomine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-cliques: %d  (%v, traffic %.1f MB)\n",
+			k, res.Count, res.Elapsed, float64(res.Summary.BytesSent)/(1<<20))
+	}
+}

@@ -1,0 +1,3 @@
+module khuzdul
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package apps implements the paper's four GPM application categories
+// (§7.1) on top of the Khuzdul cluster: Triangle Counting (TC), k-Clique
+// Counting (k-CC), k-Motif Counting (k-MC), and — in internal/fsm —
+// Frequent Subgraph Mining. Each application is a thin composition: pick a
+// client system (k-Automine or k-GraphPi), compile the pattern(s) to EXTEND
+// plans, run them on the cluster.
+package apps
+
+import (
+	"fmt"
+
+	"khuzdul/internal/automine"
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/graphpi"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// System selects the client GPM system.
+type System int
+
+const (
+	// KAutomine is Automine ported on Khuzdul.
+	KAutomine System = iota
+	// KGraphPi is GraphPi ported on Khuzdul.
+	KGraphPi
+)
+
+func (s System) String() string {
+	switch s {
+	case KAutomine:
+		return automine.Name
+	case KGraphPi:
+		return graphpi.Name
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+// CompileOptions forwards system-specific knobs.
+type CompileOptions struct {
+	Induced              bool
+	DisableVCS           bool
+	DisableSymmetryBreak bool
+}
+
+// Compile compiles one pattern with the selected system.
+func Compile(sys System, pat *pattern.Pattern, g *graph.Graph, opts CompileOptions) (*plan.Plan, error) {
+	switch sys {
+	case KAutomine:
+		return automine.Compile(pat, g, automine.Options(opts))
+	case KGraphPi:
+		return graphpi.Compile(pat, g, graphpi.Options(opts))
+	default:
+		return nil, fmt.Errorf("apps: unknown system %d", int(sys))
+	}
+}
+
+// TriangleCount runs TC on the cluster.
+func TriangleCount(c *cluster.Cluster, sys System) (cluster.Result, error) {
+	return PatternCount(c, pattern.Triangle(), sys, false)
+}
+
+// CliqueCount runs k-CC on the cluster.
+func CliqueCount(c *cluster.Cluster, k int, sys System) (cluster.Result, error) {
+	return PatternCount(c, pattern.Clique(k), sys, false)
+}
+
+// PatternCount counts one pattern's embeddings on the cluster.
+func PatternCount(c *cluster.Cluster, pat *pattern.Pattern, sys System, induced bool) (cluster.Result, error) {
+	pl, err := Compile(sys, pat, c.Graph(), CompileOptions{Induced: induced})
+	if err != nil {
+		return cluster.Result{}, err
+	}
+	return c.Count(pl)
+}
+
+// MotifCount runs k-MC: it counts the induced embeddings of every connected
+// size-k pattern, returning per-pattern results and the combined totals.
+func MotifCount(c *cluster.Cluster, k int, sys System) ([]cluster.Result, cluster.Result, error) {
+	pats := pattern.ConnectedPatterns(k)
+	plans := make([]*plan.Plan, 0, len(pats))
+	for _, pat := range pats {
+		pl, err := Compile(sys, pat, c.Graph(), CompileOptions{Induced: true})
+		if err != nil {
+			return nil, cluster.Result{}, err
+		}
+		plans = append(plans, pl)
+	}
+	return c.CountAll(plans)
+}
+
+// OrientedCliqueCount counts k-cliques on a cluster built over an oriented
+// (DAG) graph — the Pangolin-style preprocessing the paper applies for the
+// Table 5 large-graph runs. The caller must have built the cluster over
+// graph.Orient(g); orientation replaces symmetry-breaking restrictions.
+func OrientedCliqueCount(c *cluster.Cluster, k int, sys System) (cluster.Result, error) {
+	pl, err := Compile(sys, pattern.Clique(k), c.Graph(),
+		CompileOptions{DisableSymmetryBreak: true})
+	if err != nil {
+		return cluster.Result{}, err
+	}
+	return c.Count(pl)
+}

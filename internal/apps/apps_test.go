@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"testing"
+
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func newCluster(t *testing.T, g *graph.Graph, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(g, cluster.Config{NumNodes: nodes, ThreadsPerSocket: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTriangleCountBothSystems(t *testing.T) {
+	g := graph.RMATDefault(120, 700, 173)
+	want := plan.BruteForceCount(g, pattern.Triangle(), false)
+	c := newCluster(t, g, 4)
+	for _, sys := range []System{KAutomine, KGraphPi} {
+		res, err := TriangleCount(c, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("%v TC = %d, want %d", sys, res.Count, want)
+		}
+	}
+}
+
+func TestCliqueCount(t *testing.T) {
+	g := graph.RMATDefault(100, 600, 179)
+	c := newCluster(t, g, 3)
+	for _, k := range []int{4, 5} {
+		want := plan.BruteForceCount(g, pattern.Clique(k), false)
+		res, err := CliqueCount(c, k, KGraphPi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("%d-CC = %d, want %d", k, res.Count, want)
+		}
+	}
+}
+
+func TestMotifCount(t *testing.T) {
+	g := graph.RMATDefault(70, 350, 181)
+	c := newCluster(t, g, 2)
+	for _, k := range []int{3, 4} {
+		per, combined, err := MotifCount(c, k, KAutomine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pats := pattern.ConnectedPatterns(k)
+		if len(per) != len(pats) {
+			t.Fatalf("%d-MC returned %d results, want %d", k, len(per), len(pats))
+		}
+		var want uint64
+		for i, pat := range pats {
+			w := plan.BruteForceCount(g, pat, true)
+			if per[i].Count != w {
+				t.Errorf("%d-MC pattern %v = %d, want %d", k, pat, per[i].Count, w)
+			}
+			want += w
+		}
+		if combined.Count != want {
+			t.Errorf("%d-MC total = %d, want %d", k, combined.Count, want)
+		}
+	}
+}
+
+func TestMotifTotalsIdentity(t *testing.T) {
+	// Induced size-3 counts satisfy: #wedge_induced + 3·#triangle =
+	// #wedge_non_induced. Cross-check the apps layer against that identity.
+	g := graph.RMATDefault(90, 500, 191)
+	c := newCluster(t, g, 2)
+	per, _, err := MotifCount(c, 3, KGraphPi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := pattern.ConnectedPatterns(3)
+	var wedgeInduced, triangles uint64
+	for i, pat := range pats {
+		if pat.NumEdges() == 2 {
+			wedgeInduced = per[i].Count
+		} else {
+			triangles = per[i].Count
+		}
+	}
+	wedgeNonInduced := plan.BruteForceCount(g, pattern.PathP(3), false)
+	if wedgeInduced+3*triangles != wedgeNonInduced {
+		t.Fatalf("identity violated: %d + 3×%d != %d", wedgeInduced, triangles, wedgeNonInduced)
+	}
+}
+
+func TestOrientedCliqueCount(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 193)
+	dag := graph.Orient(g)
+	c := newCluster(t, dag, 3)
+	for _, k := range []int{3, 4, 5} {
+		want := plan.BruteForceCount(g, pattern.Clique(k), false)
+		res, err := OrientedCliqueCount(c, k, KAutomine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("oriented %d-CC = %d, want %d", k, res.Count, want)
+		}
+	}
+}
+
+func TestPatternCountInduced(t *testing.T) {
+	g := graph.RMATDefault(80, 400, 197)
+	c := newCluster(t, g, 2)
+	want := plan.BruteForceCount(g, pattern.Diamond(), true)
+	res, err := PatternCount(c, pattern.Diamond(), KGraphPi, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("induced diamond = %d, want %d", res.Count, want)
+	}
+}
+
+func TestCompileUnknownSystem(t *testing.T) {
+	if _, err := Compile(System(9), pattern.Triangle(), nil, CompileOptions{}); err == nil {
+		t.Fatal("want error for unknown system")
+	}
+	if System(9).String() == "" || KAutomine.String() == "" {
+		t.Fatal("empty system name")
+	}
+}

@@ -1,0 +1,61 @@
+package automine
+
+import (
+	"testing"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func TestCompileProducesAutomineStyle(t *testing.T) {
+	g := graph.RMATDefault(100, 500, 811)
+	pl, err := Compile(pattern.Clique(4), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Style != plan.StyleAutomine {
+		t.Fatalf("style = %v", pl.Style)
+	}
+	if got, want := plan.CountGraph(pl, g), plan.BruteForceCount(g, pattern.Clique(4), false); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestCompileOptionsForwarded(t *testing.T) {
+	pl, err := Compile(pattern.Clique(4), nil, Options{DisableVCS: true, DisableSymmetryBreak: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.VCS {
+		t.Fatal("VCS not disabled")
+	}
+	if len(pl.Restrictions) != 0 {
+		t.Fatal("symmetry breaking not disabled")
+	}
+}
+
+func TestCompileMotifs(t *testing.T) {
+	g := graph.RMATDefault(60, 300, 813)
+	plans, err := CompileMotifs(4, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 6 {
+		t.Fatalf("4-motif plans = %d, want 6", len(plans))
+	}
+	for _, pl := range plans {
+		if !pl.Induced {
+			t.Fatal("motif plan not induced")
+		}
+	}
+}
+
+func TestCompileRejectsDisconnected(t *testing.T) {
+	disc := pattern.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, err := Compile(disc, nil, Options{}); err == nil {
+		t.Fatal("want error for disconnected pattern")
+	}
+}

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"khuzdul/internal/graph"
+)
+
+func list(n int) []graph.VertexID {
+	l := make([]graph.VertexID, n)
+	for i := range l {
+		l[i] = graph.VertexID(i)
+	}
+	return l
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{
+		"static": Static, "FIFO": FIFO, "lifo": LIFO, "LRU": LRU, "mru": MRU, "": Static,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("arc"); err == nil {
+		t.Fatal("want error for unknown policy")
+	}
+}
+
+func TestStaticAdmission(t *testing.T) {
+	c := NewStatic(1000, 4)
+	if c.MaybePut(1, list(2)) {
+		t.Fatal("admitted list below degree threshold")
+	}
+	if !c.MaybePut(2, list(10)) {
+		t.Fatal("rejected hot list with space available")
+	}
+	got, ok := c.Get(2)
+	if !ok || len(got) != 10 {
+		t.Fatalf("Get(2) = %v, %v", got, ok)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("Get(1) found rejected entry")
+	}
+}
+
+func TestStaticFreezesWhenFull(t *testing.T) {
+	// Capacity fits one 10-vertex entry (16+40=56) but not two.
+	c := NewStatic(80, 1)
+	if !c.MaybePut(1, list(10)) {
+		t.Fatal("first put rejected")
+	}
+	if c.MaybePut(2, list(10)) {
+		t.Fatal("second put admitted beyond capacity")
+	}
+	if !c.Full() {
+		t.Fatal("cache not frozen after capacity rejection")
+	}
+	// Even a tiny entry that would fit is now rejected: no replacement, no
+	// admission after freeze (paper §5.3).
+	if c.MaybePut(3, list(1)) {
+		t.Fatal("admission after freeze")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("frozen cache lost its entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestStaticIdempotentPut(t *testing.T) {
+	c := NewStatic(1000, 1)
+	c.MaybePut(7, list(5))
+	size := c.SizeBytes()
+	if !c.MaybePut(7, list(5)) {
+		t.Fatal("re-put of cached entry returned false")
+	}
+	if c.SizeBytes() != size {
+		t.Fatal("re-put changed accounted size")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	// Each entry is 16+4*1=20 bytes; capacity 60 holds three.
+	c := New(LRU, 60, 0)
+	c.MaybePut(1, list(1))
+	c.MaybePut(2, list(1))
+	c.MaybePut(3, list(1))
+	c.Get(1) // 1 becomes most recent; LRU order now 2,3,1
+	c.MaybePut(4, list(1))
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+	for _, v := range []graph.VertexID{1, 3, 4} {
+		if _, ok := c.Get(v); !ok {
+			t.Fatalf("LRU evicted %d", v)
+		}
+	}
+}
+
+func TestMRUEvictsMostRecent(t *testing.T) {
+	c := New(MRU, 60, 0)
+	c.MaybePut(1, list(1))
+	c.MaybePut(2, list(1))
+	c.MaybePut(3, list(1))
+	c.Get(1) // 1 most recent
+	c.MaybePut(4, list(1))
+	if _, ok := c.Get(1); ok {
+		t.Fatal("MRU kept the most recently used entry")
+	}
+	for _, v := range []graph.VertexID{2, 3, 4} {
+		if _, ok := c.Get(v); !ok {
+			t.Fatalf("MRU evicted %d", v)
+		}
+	}
+}
+
+func TestFIFOEvictsOldest(t *testing.T) {
+	c := New(FIFO, 60, 0)
+	c.MaybePut(1, list(1))
+	c.MaybePut(2, list(1))
+	c.MaybePut(3, list(1))
+	c.Get(1) // recency must NOT matter for FIFO
+	c.MaybePut(4, list(1))
+	if _, ok := c.Get(1); ok {
+		t.Fatal("FIFO kept the oldest entry")
+	}
+}
+
+func TestLIFOEvictsNewest(t *testing.T) {
+	c := New(LIFO, 60, 0)
+	c.MaybePut(1, list(1))
+	c.MaybePut(2, list(1))
+	c.MaybePut(3, list(1))
+	c.MaybePut(4, list(1))
+	if _, ok := c.Get(3); ok {
+		t.Fatal("LIFO kept the newest pre-existing entry")
+	}
+	for _, v := range []graph.VertexID{1, 2, 4} {
+		if _, ok := c.Get(v); !ok {
+			t.Fatalf("LIFO evicted %d", v)
+		}
+	}
+}
+
+func TestReplacementRejectsOversized(t *testing.T) {
+	c := New(LRU, 30, 0)
+	if c.MaybePut(1, list(100)) {
+		t.Fatal("admitted entry larger than capacity")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	c := New(FIFO, 1000, 0)
+	c.MaybePut(1, list(10)) // 56 bytes
+	c.MaybePut(2, list(20)) // 96 bytes
+	if got := c.SizeBytes(); got != 152 {
+		t.Fatalf("SizeBytes = %d, want 152", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestEvictionCounter(t *testing.T) {
+	c := newReplacement(LRU, 40) // holds two 20-byte entries
+	c.MaybePut(1, list(1))
+	c.MaybePut(2, list(1))
+	c.MaybePut(3, list(1))
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	for _, p := range []Policy{Static, FIFO, LIFO, LRU, MRU} {
+		c := New(p, 1<<16, 0)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					v := graph.VertexID((w*500 + i) % 300)
+					c.MaybePut(v, list(i%20+1))
+					c.Get(v)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if c.Len() == 0 && p != Static {
+			t.Errorf("%v: empty after concurrent fill", p)
+		}
+	}
+}
+
+func TestPolicyAccessor(t *testing.T) {
+	for _, p := range []Policy{Static, FIFO, LIFO, LRU, MRU} {
+		if got := New(p, 100, 0).Policy(); got != p {
+			t.Errorf("Policy() = %v, want %v", got, p)
+		}
+		if p.String() == "" {
+			t.Errorf("empty String for %d", int(p))
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package cluster drives the simulated Khuzdul deployment: N machines, each
+// holding one 1-D hash partition of the input graph, each running one engine
+// instance per NUMA socket, all connected by a communication fabric
+// (in-process or TCP loopback). It owns machine lifecycle, per-node caches,
+// metric aggregation and result reduction — the pieces MPI plus the paper's
+// launcher scripts provide on a real cluster.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"khuzdul/internal/cache"
+	"khuzdul/internal/comm"
+	"khuzdul/internal/core"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/partition"
+	"khuzdul/internal/plan"
+)
+
+// Transport selects the communication fabric.
+type Transport int
+
+const (
+	// TransportChan is the in-process fabric (default).
+	TransportChan Transport = iota
+	// TransportTCP runs every fetch through loopback TCP sockets.
+	TransportTCP
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// NumNodes is the number of machines (paper default: 8).
+	NumNodes int
+	// Sockets is the NUMA socket count per machine (paper hardware: 2).
+	// 1 disables NUMA support, reproducing the Table 7 baseline.
+	Sockets int
+	// ThreadsPerSocket is the compute worker count per engine instance.
+	ThreadsPerSocket int
+	// ChunkSize is the per-level chunk capacity in embeddings.
+	ChunkSize int
+	// HDS enables horizontal data sharing (default on; Figure 12 ablation).
+	DisableHDS bool
+	// CacheFraction sizes each machine's static cache as a fraction of the
+	// graph size (paper: 5–15%). 0 disables the cache.
+	CacheFraction float64
+	// CachePolicy selects the cache design (paper default STATIC; FIFO/LIFO/
+	// LRU/MRU reproduce Figure 16).
+	CachePolicy cache.Policy
+	// CacheDegreeThreshold is the static cache admission threshold
+	// (paper: 64; scaled presets use lower values).
+	CacheDegreeThreshold uint32
+	// Transport selects the fabric.
+	Transport Transport
+	// MiniBatch and FlushSize pass through to the engine.
+	MiniBatch int
+	FlushSize int
+	// StrictPipeline disables the engine's fire-all-fetches-at-seal
+	// overlapping (ablation of the paper's §4.3 design choice).
+	StrictPipeline bool
+	// SequentialNodes runs the simulated machines one after another instead
+	// of concurrently. Edge-list serving is passive (executed in the
+	// requester's context), so results are identical; per-machine busy-time
+	// measurements stop inflating each other on hosts with fewer cores than
+	// simulated workers, which makes ModeledElapsed trustworthy. Elapsed
+	// then approximates the cluster's total CPU work.
+	SequentialNodes bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumNodes <= 0 {
+		c.NumNodes = 1
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = 1
+	}
+	if c.ThreadsPerSocket <= 0 {
+		c.ThreadsPerSocket = 1
+	}
+	if c.CacheDegreeThreshold == 0 {
+		c.CacheDegreeThreshold = 64
+	}
+	return c
+}
+
+// Cluster is a running simulated deployment over one input graph.
+type Cluster struct {
+	g      *graph.Graph
+	cfg    Config
+	asg    partition.Assignment
+	locals []*partition.Local
+	met    *metrics.Cluster
+	fabric comm.Fabric
+}
+
+// New partitions g across the configured machines and opens the fabric.
+func New(g *graph.Graph, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	asg := partition.NewAssignment(cfg.NumNodes, cfg.Sockets)
+	met := metrics.NewCluster(cfg.NumNodes)
+	locals := make([]*partition.Local, cfg.NumNodes)
+	servers := make([]comm.Server, cfg.NumNodes)
+	for node := 0; node < cfg.NumNodes; node++ {
+		locals[node] = partition.NewLocal(g, asg, node)
+		l := locals[node]
+		servers[node] = comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+			out := make([][]graph.VertexID, len(ids))
+			for i, id := range ids {
+				out[i] = l.MustNeighbors(id)
+			}
+			return out
+		})
+	}
+	var fabric comm.Fabric
+	var err error
+	switch cfg.Transport {
+	case TransportChan:
+		fabric = comm.NewLocal(servers, met)
+	case TransportTCP:
+		fabric, err = comm.NewTCP(servers, met)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %d", cfg.Transport)
+	}
+	return &Cluster{g: g, cfg: cfg, asg: asg, locals: locals, met: met, fabric: fabric}, nil
+}
+
+// Close releases the fabric.
+func (c *Cluster) Close() error { return c.fabric.Close() }
+
+// Graph returns the input graph.
+func (c *Cluster) Graph() *graph.Graph { return c.g }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Metrics returns the cluster's metric store (reset between runs by Run).
+func (c *Cluster) Metrics() *metrics.Cluster { return c.met }
+
+// Result is the outcome of one distributed run.
+type Result struct {
+	// Count is the total match count summed over all machines (meaningful
+	// when sinks are counting sinks).
+	Count uint64
+	// Elapsed is the end-to-end wall time of the run. On hosts with fewer
+	// cores than simulated workers, wall time approximates total CPU work
+	// rather than cluster makespan; use ModeledElapsed for scalability
+	// comparisons.
+	Elapsed time.Duration
+	// ModeledElapsed is the modeled cluster makespan: the slowest machine's
+	// critical path assuming its compute parallelizes over its workers and
+	// its per-socket scheduling stays serial —
+	// max over nodes of (compute/(sockets·threads) + (scheduler+cache)/sockets).
+	// Communication is treated as overlapped, which the paper's Figure 19
+	// (network far from saturated, compute-bound) justifies. The inputs are
+	// measured per-machine busy times, so load imbalance between machines
+	// is captured, not assumed.
+	ModeledElapsed time.Duration
+	// Summary aggregates all machines' metrics.
+	Summary metrics.Summary
+	// PerNode is each machine's runtime breakdown.
+	PerNode []metrics.Breakdown
+}
+
+// Run executes one plan over the cluster. sinkFactory supplies the
+// application sink per (node, socket) engine instance; Run returns once all
+// machines finish and aggregates their metrics. Each call resets metrics.
+func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sink) (Result, error) {
+	// Fresh counters per run so experiments report only their own traffic.
+	c.met.Reset()
+
+	var labelOf plan.LabelFunc
+	if c.g.Labeled() {
+		labelOf = c.g.Label
+	}
+	var edgeLabelOf plan.EdgeLabelFunc
+	if c.g.EdgeLabeled() {
+		edgeLabelOf = plan.EdgeLabelOracle(c.g)
+	}
+
+	cacheBytesPerSocket := uint64(0)
+	if c.cfg.CacheFraction > 0 {
+		total := float64(c.g.SizeBytes()) * c.cfg.CacheFraction
+		cacheBytesPerSocket = uint64(total / float64(c.cfg.Sockets))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sinks := make([]core.Sink, 0, c.cfg.NumNodes*c.cfg.Sockets)
+	errs := make([]error, c.cfg.NumNodes*c.cfg.Sockets)
+	var engines []*core.Engine
+	for node := 0; node < c.cfg.NumNodes; node++ {
+		for socket := 0; socket < c.cfg.Sockets; socket++ {
+			var ca cache.Cache
+			if cacheBytesPerSocket > 0 {
+				ca = cache.New(c.cfg.CachePolicy, cacheBytesPerSocket, c.cfg.CacheDegreeThreshold)
+			}
+			src := &nodeSource{
+				local:  c.locals[node],
+				socket: socket,
+				fabric: c.fabric,
+				met:    c.met.Nodes[node],
+			}
+			sink := sinkFactory(node, socket)
+			sinks = append(sinks, sink)
+			ext := core.NewPlanExtender(pl, labelOf)
+			ext.EdgeLabelOf = edgeLabelOf
+			eng := core.NewEngine(ext, src, sink, core.Config{
+				ChunkSize:      c.cfg.ChunkSize,
+				Threads:        c.cfg.ThreadsPerSocket,
+				MiniBatch:      c.cfg.MiniBatch,
+				FlushSize:      c.cfg.FlushSize,
+				HDS:            !c.cfg.DisableHDS,
+				StrictPipeline: c.cfg.StrictPipeline,
+				Cache:          ca,
+				Metrics:        c.met.Nodes[node],
+			})
+			if c.cfg.SequentialNodes {
+				engines = append(engines, eng)
+				continue
+			}
+			wg.Add(1)
+			slot := node*c.cfg.Sockets + socket
+			go func() {
+				defer wg.Done()
+				errs[slot] = eng.Run()
+			}()
+		}
+	}
+	if c.cfg.SequentialNodes {
+		for slot, eng := range engines {
+			errs[slot] = eng.Run()
+		}
+	} else {
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	for slot, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: node %d socket %d: %w",
+				slot/c.cfg.Sockets, slot%c.cfg.Sockets, err)
+		}
+	}
+
+	res := Result{Elapsed: elapsed, Summary: c.met.Summarize()}
+	workers := c.cfg.Sockets * c.cfg.ThreadsPerSocket
+	for _, n := range c.met.Nodes {
+		b := n.Breakdown()
+		res.PerNode = append(res.PerNode, b)
+		modeled := b.Compute/time.Duration(workers) +
+			(b.Scheduler+b.Cache)/time.Duration(c.cfg.Sockets)
+		if modeled > res.ModeledElapsed {
+			res.ModeledElapsed = modeled
+		}
+	}
+	for _, s := range sinks {
+		if cs, ok := s.(*core.CountSink); ok {
+			res.Count += cs.Count()
+		}
+	}
+	return res, nil
+}
+
+// Count runs a plan with counting sinks — the common case.
+func (c *Cluster) Count(pl *plan.Plan) (Result, error) {
+	return c.Run(pl, func(node, socket int) core.Sink { return &core.CountSink{} })
+}
+
+// CountAll runs several plans sequentially (e.g. motif counting over all
+// size-k patterns), returning per-plan results plus the combined totals.
+func (c *Cluster) CountAll(pls []*plan.Plan) ([]Result, Result, error) {
+	var results []Result
+	var combined Result
+	for _, pl := range pls {
+		r, err := c.Count(pl)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		results = append(results, r)
+		combined.Count += r.Count
+		combined.Elapsed += r.Elapsed
+		combined.ModeledElapsed += r.ModeledElapsed
+		combined.Summary.BytesSent += r.Summary.BytesSent
+		combined.Summary.Messages += r.Summary.Messages
+		combined.Summary.Fetches += r.Summary.Fetches
+		combined.Summary.RemoteFetches += r.Summary.RemoteFetches
+		combined.Summary.CacheHits += r.Summary.CacheHits
+		combined.Summary.CacheMisses += r.Summary.CacheMisses
+		combined.Summary.HDSHits += r.Summary.HDSHits
+		combined.Summary.Extensions += r.Summary.Extensions
+		combined.Summary.Matches += r.Summary.Matches
+	}
+	return results, combined, nil
+}
+
+// nodeSource adapts one machine's partition + fabric to the engine's
+// DataSource, including NUMA socket classification (§5.4).
+type nodeSource struct {
+	local  *partition.Local
+	socket int
+	fabric comm.Fabric
+	met    *metrics.Node
+}
+
+func (s *nodeSource) Classify(v graph.VertexID) (core.Locality, int) {
+	asg := s.local.Assignment()
+	owner := asg.Owner(v)
+	if owner != s.local.Node() {
+		return core.LocalityRemote, owner
+	}
+	if asg.NumSockets() > 1 && asg.Socket(v) != s.socket {
+		return core.LocalityCrossSocket, owner
+	}
+	return core.LocalityLocal, owner
+}
+
+func (s *nodeSource) LocalList(v graph.VertexID) []graph.VertexID {
+	return s.local.MustNeighbors(v)
+}
+
+func (s *nodeSource) CrossSocketList(v graph.VertexID) []graph.VertexID {
+	l := s.local.MustNeighbors(v)
+	s.met.CrossSocketFetches.Add(1)
+	s.met.CrossSocketBytes.Add(4 + 4*uint64(len(l)))
+	return l
+}
+
+func (s *nodeSource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	return s.fabric.Fetch(s.local.Node(), owner, ids)
+}
+
+func (s *nodeSource) NumNodes() int  { return s.local.Assignment().NumNodes() }
+func (s *nodeSource) LocalNode() int { return s.local.Node() }
+
+func (s *nodeSource) Roots() []graph.VertexID {
+	if s.local.Assignment().NumSockets() > 1 {
+		return s.local.SocketVertices(s.socket)
+	}
+	return s.local.OwnedVertices()
+}
+
+func (s *nodeSource) Label(v graph.VertexID) graph.Label { return s.local.Label(v) }

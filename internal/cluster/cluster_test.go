@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"testing"
+
+	"khuzdul/internal/automine"
+	"khuzdul/internal/cache"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/graphpi"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func mustCluster(t *testing.T, g *graph.Graph, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterCountMatchesBruteForce(t *testing.T) {
+	g := graph.RMATDefault(120, 700, 41)
+	for _, cfg := range []Config{
+		{NumNodes: 1},
+		{NumNodes: 4, ThreadsPerSocket: 2},
+		{NumNodes: 8, ThreadsPerSocket: 2, CacheFraction: 0.1, CacheDegreeThreshold: 4},
+		{NumNodes: 3, Sockets: 2, ThreadsPerSocket: 2},
+	} {
+		c := mustCluster(t, g, cfg)
+		for _, pat := range []*pattern.Pattern{pattern.Triangle(), pattern.Clique(4)} {
+			pl, err := graphpi.Compile(pat, g, graphpi.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := plan.BruteForceCount(g, pat, false)
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Errorf("cfg=%+v %v: count %d, want %d", cfg, pat, res.Count, want)
+			}
+			if res.Elapsed <= 0 {
+				t.Errorf("non-positive elapsed")
+			}
+		}
+	}
+}
+
+func TestClusterTCPTransportSameResult(t *testing.T) {
+	g := graph.RMATDefault(100, 500, 43)
+	pl, err := automine.Compile(pattern.Clique(4), g, automine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chanC := mustCluster(t, g, Config{NumNodes: 3, ThreadsPerSocket: 2})
+	tcpC := mustCluster(t, g, Config{NumNodes: 3, ThreadsPerSocket: 2, Transport: TransportTCP})
+	a, err := chanC.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tcpC.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != b.Count {
+		t.Fatalf("chan=%d tcp=%d", a.Count, b.Count)
+	}
+	if a.Summary.BytesSent != b.Summary.BytesSent {
+		t.Fatalf("traffic differs: chan=%d tcp=%d", a.Summary.BytesSent, b.Summary.BytesSent)
+	}
+}
+
+func TestClusterNUMAMatchesNonNUMA(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := mustCluster(t, g, Config{NumNodes: 2, Sockets: 1, ThreadsPerSocket: 2})
+	numa := mustCluster(t, g, Config{NumNodes: 2, Sockets: 2, ThreadsPerSocket: 1})
+	a, err := single.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := numa.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != b.Count {
+		t.Fatalf("NUMA changed count: %d vs %d", a.Count, b.Count)
+	}
+	if b.Summary.CrossSocketFetches == 0 {
+		t.Fatal("NUMA mode recorded no cross-socket fetches")
+	}
+	if a.Summary.CrossSocketFetches != 0 {
+		t.Fatal("single-socket mode recorded cross-socket fetches")
+	}
+}
+
+func TestClusterMetricsResetBetweenRuns(t *testing.T) {
+	g := graph.RMATDefault(80, 400, 53)
+	pl, err := graphpi.Compile(pattern.Triangle(), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustCluster(t, g, Config{NumNodes: 4, ThreadsPerSocket: 2})
+	r1, err := c.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count != r2.Count {
+		t.Fatalf("repeat runs disagree: %d vs %d", r1.Count, r2.Count)
+	}
+	// Within 2x: a second run must not accumulate the first run's traffic.
+	if r2.Summary.BytesSent > 2*r1.Summary.BytesSent {
+		t.Fatalf("metrics accumulated across runs: %d then %d",
+			r1.Summary.BytesSent, r2.Summary.BytesSent)
+	}
+}
+
+func TestClusterCachePoliciesAllCorrect(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 59)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+	for _, pol := range []cache.Policy{cache.Static, cache.FIFO, cache.LIFO, cache.LRU, cache.MRU} {
+		c := mustCluster(t, g, Config{
+			NumNodes: 4, ThreadsPerSocket: 2,
+			CacheFraction: 0.05, CachePolicy: pol, CacheDegreeThreshold: 2,
+		})
+		res, err := c.Count(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("policy %v: count %d, want %d", pol, res.Count, want)
+		}
+	}
+}
+
+func TestClusterCountAllMotifs(t *testing.T) {
+	g := graph.RMATDefault(60, 300, 61)
+	plans, err := graphpi.CompileMotifs(3, g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustCluster(t, g, Config{NumNodes: 2, ThreadsPerSocket: 2})
+	per, combined, err := c.CountAll(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 2 { // wedge + triangle
+		t.Fatalf("3-motif plans = %d, want 2", len(per))
+	}
+	var want uint64
+	for _, pat := range pattern.ConnectedPatterns(3) {
+		want += plan.BruteForceCount(g, pat, true)
+	}
+	if combined.Count != want {
+		t.Fatalf("3-motif total = %d, want %d", combined.Count, want)
+	}
+}
+
+func TestClusterOrientedCliqueCounting(t *testing.T) {
+	// Orientation (Pangolin-style, used for Table 5): count cliques on the
+	// DAG without symmetry-breaking restrictions.
+	g := graph.RMATDefault(120, 700, 67)
+	dag := graph.Orient(g)
+	for _, k := range []int{3, 4} {
+		pl, err := automine.Compile(pattern.Clique(k), dag,
+			automine.Options{DisableSymmetryBreak: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mustCluster(t, dag, Config{NumNodes: 3, ThreadsPerSocket: 2})
+		res, err := c.Count(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plan.BruteForceCount(g, pattern.Clique(k), false)
+		if res.Count != want {
+			t.Errorf("oriented %d-clique = %d, want %d", k, res.Count, want)
+		}
+	}
+}
+
+func TestClusterEdgeLabeledPattern(t *testing.T) {
+	// The edge-label extension must hold end-to-end through the distributed
+	// engine: counts match brute force and sum correctly across labels.
+	g := graph.RMATDefault(90, 500, 71).WithRandomEdgeLabels(2, 5)
+	c := mustCluster(t, g, Config{NumNodes: 3, ThreadsPerSocket: 2})
+	var sum uint64
+	for la := graph.Label(0); la < 2; la++ {
+		pat := pattern.Triangle()
+		// One triangle pattern per "all edges labeled la" choice plus the
+		// mixed ones; here: uniform label la on all three edges.
+		pat.SetEdgeLabel(0, 1, la)
+		pat.SetEdgeLabel(1, 2, la)
+		pat.SetEdgeLabel(0, 2, la)
+		pl, err := graphpi.Compile(pat, g, graphpi.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Count(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plan.BruteForceCount(g, pat, false)
+		if res.Count != want {
+			t.Errorf("uniform label %d: %d, want %d", la, res.Count, want)
+		}
+		sum += res.Count
+	}
+	all, err := graphpi.Compile(pattern.Triangle(), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Count(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum > res.Count {
+		t.Fatalf("uniform-label triangles %d exceed total %d", sum, res.Count)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := New(g, Config{NumNodes: 2, Transport: Transport(99)}); err == nil {
+		t.Fatal("want error for unknown transport")
+	}
+	c, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Config().NumNodes != 1 || c.Config().Sockets != 1 {
+		t.Fatalf("defaults not applied: %+v", c.Config())
+	}
+}

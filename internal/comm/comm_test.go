@@ -1,0 +1,230 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/partition"
+)
+
+// testServers builds per-node servers over a partitioned graph.
+func testServers(g *graph.Graph, asg partition.Assignment) []Server {
+	servers := make([]Server, asg.NumNodes())
+	for node := 0; node < asg.NumNodes(); node++ {
+		local := partition.NewLocal(g, asg, node)
+		servers[node] = ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+			out := make([][]graph.VertexID, len(ids))
+			for i, id := range ids {
+				out[i] = local.MustNeighbors(id)
+			}
+			return out
+		})
+	}
+	return servers
+}
+
+func fetchAll(t *testing.T, f Fabric, g *graph.Graph, asg partition.Assignment) {
+	t.Helper()
+	for v := 0; v < g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		owner := asg.Owner(id)
+		from := (owner + 1) % asg.NumNodes()
+		lists, err := f.Fetch(from, owner, []graph.VertexID{id})
+		if err != nil {
+			t.Fatalf("Fetch(%d): %v", v, err)
+		}
+		if len(lists) != 1 {
+			t.Fatalf("Fetch(%d): %d lists", v, len(lists))
+		}
+		want := g.Neighbors(id)
+		if len(lists[0]) != len(want) {
+			t.Fatalf("Fetch(%d): %d neighbors, want %d", v, len(lists[0]), len(want))
+		}
+		for i := range want {
+			if lists[0][i] != want[i] {
+				t.Fatalf("Fetch(%d): neighbor %d = %d, want %d", v, i, lists[0][i], want[i])
+			}
+		}
+	}
+}
+
+func TestLocalFabricFetch(t *testing.T) {
+	g := graph.RMATDefault(200, 800, 3)
+	asg := partition.NewAssignment(3, 1)
+	m := metrics.NewCluster(3)
+	f := NewLocal(testServers(g, asg), m)
+	defer f.Close()
+	fetchAll(t, f, g, asg)
+	s := m.Summarize()
+	if s.BytesSent == 0 || s.Messages == 0 {
+		t.Fatal("no traffic accounted")
+	}
+}
+
+func TestTCPFabricFetch(t *testing.T) {
+	g := graph.RMATDefault(200, 800, 3)
+	asg := partition.NewAssignment(3, 1)
+	m := metrics.NewCluster(3)
+	f, err := NewTCP(testServers(g, asg), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fetchAll(t, f, g, asg)
+}
+
+func TestFabricsAccountIdentically(t *testing.T) {
+	g := graph.RMATDefault(150, 600, 9)
+	asg := partition.NewAssignment(2, 1)
+
+	mLocal := metrics.NewCluster(2)
+	fl := NewLocal(testServers(g, asg), mLocal)
+	defer fl.Close()
+
+	mTCP := metrics.NewCluster(2)
+	ft, err := NewTCP(testServers(g, asg), mTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+
+	batch := []graph.VertexID{}
+	for v := 0; v < g.NumVertices(); v++ {
+		if asg.Owner(graph.VertexID(v)) == 1 {
+			batch = append(batch, graph.VertexID(v))
+		}
+	}
+	if _, err := fl.Fetch(0, 1, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.Fetch(0, 1, batch); err != nil {
+		t.Fatal(err)
+	}
+	a, b := mLocal.Summarize(), mTCP.Summarize()
+	if a.BytesSent != b.BytesSent {
+		t.Fatalf("local fabric accounted %d bytes, TCP %d", a.BytesSent, b.BytesSent)
+	}
+	if a.Messages != b.Messages {
+		t.Fatalf("local fabric %d messages, TCP %d", a.Messages, b.Messages)
+	}
+}
+
+func TestTCPConcurrentFetches(t *testing.T) {
+	g := graph.RMATDefault(300, 1500, 4)
+	asg := partition.NewAssignment(4, 1)
+	f, err := NewTCP(testServers(g, asg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := 0; v < g.NumVertices(); v += 7 {
+				id := graph.VertexID(v)
+				owner := asg.Owner(id)
+				from := (owner + 1 + w%3) % 4
+				lists, err := f.Fetch(from, owner, []graph.VertexID{id})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(lists[0]) != int(g.Degree(id)) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchUnknownNode(t *testing.T) {
+	f := NewLocal(nil, nil)
+	if _, err := f.Fetch(0, 3, []graph.VertexID{1}); err == nil {
+		t.Fatal("want error for unknown destination")
+	}
+}
+
+func TestByteFormulas(t *testing.T) {
+	if RequestBytes(0) != 4 {
+		t.Fatalf("RequestBytes(0) = %d", RequestBytes(0))
+	}
+	if RequestBytes(3) != 16 {
+		t.Fatalf("RequestBytes(3) = %d", RequestBytes(3))
+	}
+	lists := [][]graph.VertexID{{1, 2}, {}, {3}}
+	// 4 + (4+8) + (4+0) + (4+4) = 28
+	if got := ResponseBytes(lists); got != 28 {
+		t.Fatalf("ResponseBytes = %d, want 28", got)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	// A hub list far larger than the bufio buffers must frame correctly.
+	b := graph.NewBuilder(0)
+	for v := 1; v <= 50000; v++ {
+		b.AddEdge(0, graph.VertexID(v))
+	}
+	g := b.Build()
+	asg := partition.NewAssignment(2, 1)
+	f, err := NewTCP(testServers(g, asg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	owner := asg.Owner(0)
+	lists, err := f.Fetch(1-owner, owner, []graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists[0]) != 50000 {
+		t.Fatalf("hub list truncated: %d", len(lists[0]))
+	}
+	for i, v := range lists[0] {
+		if v != graph.VertexID(i+1) {
+			t.Fatalf("corrupted at %d: %d", i, v)
+		}
+	}
+}
+
+func TestTCPEmptyBatch(t *testing.T) {
+	g := graph.Path(4)
+	asg := partition.NewAssignment(2, 1)
+	f, err := NewTCP(testServers(g, asg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lists, err := f.Fetch(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) != 0 {
+		t.Fatalf("empty batch returned %d lists", len(lists))
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	g := graph.Path(4)
+	asg := partition.NewAssignment(2, 1)
+	f, err := NewTCP(testServers(g, asg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+)
+
+// TCP is a loopback-socket fabric: each simulated machine runs a responder
+// listening on 127.0.0.1, and fetches are length-prefixed little-endian
+// frames over real TCP connections. It exercises genuine serialization,
+// syscalls and kernel buffering — the closest laptop equivalent of the
+// paper's MPI communication subsystem.
+type TCP struct {
+	servers   []Server
+	m         *metrics.Cluster
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	conns map[[2]int]*tcpConn // keyed by {from,to}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes request/response pairs on this connection
+	c  net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// NewTCP starts one loopback listener per node and returns the fabric.
+func NewTCP(servers []Server, m *metrics.Cluster) (*TCP, error) {
+	t := &TCP{
+		servers: servers,
+		m:       m,
+		conns:   map[[2]int]*tcpConn{},
+		closed:  make(chan struct{}),
+	}
+	for node := range servers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("comm: listen for node %d: %w", node, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs = append(t.addrs, ln.Addr().String())
+		t.wg.Add(1)
+		go t.acceptLoop(node, ln)
+	}
+	return t, nil
+}
+
+func (t *TCP) acceptLoop(node int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serveConn(node, c)
+	}
+}
+
+// serveConn answers framed requests on one inbound connection.
+func (t *TCP) serveConn(node int, c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	for {
+		ids, err := readIDs(r)
+		if err != nil {
+			return // EOF or peer closed
+		}
+		lists := t.servers[node].ServeEdgeLists(ids)
+		if err := writeLists(w, lists); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Fetch implements Fabric.
+func (t *TCP) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	conn, err := t.conn(from, to)
+	if err != nil {
+		return nil, err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := writeIDs(conn.w, ids); err != nil {
+		return nil, fmt.Errorf("comm: send to node %d: %w", to, err)
+	}
+	if err := conn.w.Flush(); err != nil {
+		return nil, fmt.Errorf("comm: flush to node %d: %w", to, err)
+	}
+	lists, err := readLists(conn.r)
+	if err != nil {
+		return nil, fmt.Errorf("comm: response from node %d: %w", to, err)
+	}
+	account(t.m, from, to, RequestBytes(len(ids)), ResponseBytes(lists))
+	return lists, nil
+}
+
+// conn returns (dialing if necessary) the connection for the ordered pair.
+func (t *TCP) conn(from, to int) (*tcpConn, error) {
+	key := [2]int{from, to}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("comm: fetch to unknown node %d", to)
+	}
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("comm: dial node %d: %w", to, err)
+	}
+	tc := &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	t.conns[key] = tc
+	return tc, nil
+}
+
+// Close shuts down listeners and connections.
+func (t *TCP) Close() error {
+	select {
+	case <-t.closed:
+		return nil
+	default:
+		close(t.closed)
+	}
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	t.mu.Lock()
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// Wire format helpers. Frames match the accounted byte formulas exactly:
+// request = u32 count + count u32 IDs; response = u32 count + per list
+// (u32 len + len u32 vertices).
+
+func writeIDs(w *bufio.Writer, ids []graph.VertexID) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ids))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, ids)
+}
+
+func readIDs(r *bufio.Reader) ([]graph.VertexID, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	ids := make([]graph.VertexID, n)
+	if err := binary.Read(r, binary.LittleEndian, ids); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+func writeLists(w *bufio.Writer, lists [][]graph.VertexID) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(lists))); err != nil {
+		return err
+	}
+	for _, l := range lists {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(l))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readLists(r *bufio.Reader) ([][]graph.VertexID, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	lists := make([][]graph.VertexID, n)
+	for i := range lists {
+		var ln uint32
+		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+			return nil, err
+		}
+		l := make([]graph.VertexID, ln)
+		if err := binary.Read(r, binary.LittleEndian, l); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		lists[i] = l
+	}
+	return lists, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"khuzdul/internal/graph"
+)
+
+// chunk is a fixed-capacity batch of extendable embeddings of one tree level
+// (paper §4.2). An embedding is stored as its new vertex plus a parent index
+// into the previous level's chunk — the hierarchical representation of
+// Figure 8 that realizes vertical data sharing: the active edge lists of the
+// earlier positions are reached through the parent chain instead of being
+// copied or re-fetched.
+type chunk struct {
+	level  int
+	parent []int32          // index into the parent chunk (-1 for roots)
+	vertex []graph.VertexID // the vertex this embedding added
+	// lists[i] is the edge list of vertex[i] once fetched (nil when the
+	// level does not need lists). It may alias the local partition, the
+	// static cache, a fetched buffer, or — via horizontal sharing — another
+	// embedding's list in the same chunk.
+	lists [][]graph.VertexID
+	// inter[i] is the raw intersection stored for vertical computation
+	// sharing; children reuse it instead of recomputing multi-way
+	// intersections. Shared by all children of one Extend call.
+	inter [][]graph.VertexID
+	// batches partition the chunk's embeddings by data source in circulant
+	// order (paper §4.3); extension proceeds batch by batch, waiting for
+	// each batch's communication to complete while later batches fetch in
+	// the background.
+	batches []*fetchBatch
+	cap     int
+	// size mirrors len(vertex) so workers can poll fullness without taking
+	// the flush lock.
+	size atomic.Int32
+}
+
+// fetchBatch is one circulant communication batch: the embeddings whose
+// active edge lists come from one machine (or are already resolved).
+type fetchBatch struct {
+	idxs  []int32
+	next  int // extension progress: idxs[:next] already extended
+	ready chan struct{}
+	err   error
+	// lazyFetch, when set (strict pipelining), performs the batch's fetch
+	// synchronously the first time the extender waits on it.
+	lazyFetch func()
+}
+
+func newFetchBatch() *fetchBatch {
+	return &fetchBatch{ready: make(chan struct{})}
+}
+
+// closeReady marks the batch's data as available.
+func (b *fetchBatch) closeReady() { close(b.ready) }
+
+func newChunk(level, capacity int) *chunk {
+	return &chunk{
+		level:  level,
+		parent: make([]int32, 0, capacity),
+		vertex: make([]graph.VertexID, 0, capacity),
+		cap:    capacity,
+	}
+}
+
+// len returns the number of embeddings currently in the chunk.
+func (c *chunk) len() int { return int(c.size.Load()) }
+
+// full reports whether the chunk reached its configured capacity. Capacity
+// is a soft bound: workers finish the mini-batch they claimed, so a chunk
+// can exceed it by a bounded overshoot (threads × mini-batch worth of
+// children), preserving the paper's bounded-memory property up to a constant.
+func (c *chunk) full() bool { return int(c.size.Load()) >= c.cap }
+
+// reset clears the chunk for reuse at the given level.
+func (c *chunk) reset(level int) {
+	c.level = level
+	c.parent = c.parent[:0]
+	c.vertex = c.vertex[:0]
+	c.lists = c.lists[:0]
+	c.inter = c.inter[:0]
+	c.batches = nil
+	c.size.Store(0)
+}
+
+// append adds one embedding and returns its index.
+func (c *chunk) append(parent int32, v graph.VertexID, inter []graph.VertexID) int32 {
+	idx := int32(len(c.vertex))
+	c.parent = append(c.parent, parent)
+	c.vertex = append(c.vertex, v)
+	c.lists = append(c.lists, nil)
+	c.inter = append(c.inter, inter)
+	c.size.Store(int32(len(c.vertex)))
+	return idx
+}
+
+// child is a freshly generated extendable embedding buffered by a worker
+// before being flushed into the next-level chunk.
+type child struct {
+	parent int32
+	vertex graph.VertexID
+	inter  []graph.VertexID
+}

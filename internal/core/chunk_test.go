@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"khuzdul/internal/graph"
+)
+
+func TestChunkAppendAndReset(t *testing.T) {
+	c := newChunk(1, 4)
+	if c.len() != 0 || c.full() {
+		t.Fatal("fresh chunk not empty")
+	}
+	inter := []graph.VertexID{7, 8}
+	idx := c.append(3, 42, inter)
+	if idx != 0 || c.len() != 1 {
+		t.Fatalf("append idx=%d len=%d", idx, c.len())
+	}
+	if c.vertex[0] != 42 || c.parent[0] != 3 || len(c.inter[0]) != 2 {
+		t.Fatal("append stored wrong fields")
+	}
+	for i := 0; i < 3; i++ {
+		c.append(0, graph.VertexID(i), nil)
+	}
+	if !c.full() {
+		t.Fatalf("chunk with %d/%d entries not full", c.len(), c.cap)
+	}
+	c.reset(2)
+	if c.len() != 0 || c.level != 2 || c.full() {
+		t.Fatal("reset did not clear the chunk")
+	}
+	if c.batches != nil {
+		t.Fatal("reset kept batches")
+	}
+}
+
+func TestChunkSoftCapacityOvershoot(t *testing.T) {
+	// Capacity is a soft bound: append never fails, full() just turns true.
+	c := newChunk(0, 2)
+	for i := 0; i < 5; i++ {
+		c.append(-1, graph.VertexID(i), nil)
+	}
+	if c.len() != 5 || !c.full() {
+		t.Fatalf("len=%d full=%v", c.len(), c.full())
+	}
+}
+
+func TestFetchBatchReady(t *testing.T) {
+	b := newFetchBatch()
+	select {
+	case <-b.ready:
+		t.Fatal("fresh batch already ready")
+	default:
+	}
+	b.closeReady()
+	select {
+	case <-b.ready:
+	default:
+		t.Fatal("closed batch not ready")
+	}
+}
+
+func TestAllIdxs(t *testing.T) {
+	idxs := allIdxs(4)
+	if len(idxs) != 4 {
+		t.Fatalf("len = %d", len(idxs))
+	}
+	for i, v := range idxs {
+		if int(v) != i {
+			t.Fatalf("idxs[%d] = %d", i, v)
+		}
+	}
+	if len(allIdxs(0)) != 0 {
+		t.Fatal("allIdxs(0) not empty")
+	}
+}
+
+func TestHashVertexSpreads(t *testing.T) {
+	// The HDS table hash must spread consecutive IDs (the common case for
+	// R-MAT hubs) across slots.
+	const mask = 255
+	buckets := map[uint32]int{}
+	for v := 0; v < 1024; v++ {
+		buckets[hashVertex(graph.VertexID(v))&mask]++
+	}
+	// With 1024 keys into 256 slots, a catastrophic hash would leave most
+	// slots empty; require at least half occupied.
+	if len(buckets) < 128 {
+		t.Fatalf("hashVertex hit only %d/256 slots", len(buckets))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.ChunkSize <= 0 || cfg.Threads <= 0 || cfg.MiniBatch <= 0 || cfg.FlushSize <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Metrics == nil {
+		t.Fatal("nil metrics after defaults")
+	}
+	// Explicit values survive.
+	cfg2 := Config{ChunkSize: 7, Threads: 3, MiniBatch: 5, FlushSize: 9}.withDefaults()
+	if cfg2.ChunkSize != 7 || cfg2.Threads != 3 || cfg2.MiniBatch != 5 || cfg2.FlushSize != 9 {
+		t.Fatalf("explicit config overridden: %+v", cfg2)
+	}
+}

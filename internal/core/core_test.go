@@ -1,0 +1,350 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"khuzdul/internal/cache"
+	"khuzdul/internal/comm"
+	"khuzdul/internal/core"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/partition"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// testSource implements core.DataSource over a partitioned graph and a
+// fabric. It is a miniature of what internal/cluster provides.
+type testSource struct {
+	local  *partition.Local
+	fabric comm.Fabric
+	met    *metrics.Node
+}
+
+func (s *testSource) Classify(v graph.VertexID) (core.Locality, int) {
+	owner := s.local.Assignment().Owner(v)
+	if owner == s.local.Node() {
+		return core.LocalityLocal, owner
+	}
+	return core.LocalityRemote, owner
+}
+
+func (s *testSource) LocalList(v graph.VertexID) []graph.VertexID {
+	return s.local.MustNeighbors(v)
+}
+
+func (s *testSource) CrossSocketList(v graph.VertexID) []graph.VertexID {
+	panic("testSource has one socket")
+}
+
+func (s *testSource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	return s.fabric.Fetch(s.local.Node(), owner, ids)
+}
+
+func (s *testSource) NumNodes() int                      { return s.local.Assignment().NumNodes() }
+func (s *testSource) LocalNode() int                     { return s.local.Node() }
+func (s *testSource) Roots() []graph.VertexID            { return s.local.OwnedVertices() }
+func (s *testSource) Label(v graph.VertexID) graph.Label { return s.local.Label(v) }
+
+// runCluster executes one engine per node over a local fabric and returns
+// the total match count and the metrics.
+func runCluster(t *testing.T, g *graph.Graph, pl *plan.Plan, numNodes int, cfg core.Config) (uint64, *metrics.Cluster) {
+	t.Helper()
+	asg := partition.NewAssignment(numNodes, 1)
+	met := metrics.NewCluster(numNodes)
+	servers := make([]comm.Server, numNodes)
+	locals := make([]*partition.Local, numNodes)
+	for node := 0; node < numNodes; node++ {
+		locals[node] = partition.NewLocal(g, asg, node)
+		l := locals[node]
+		servers[node] = comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+			out := make([][]graph.VertexID, len(ids))
+			for i, id := range ids {
+				out[i] = l.MustNeighbors(id)
+			}
+			return out
+		})
+	}
+	fabric := comm.NewLocal(servers, met)
+	defer fabric.Close()
+
+	var labelOf plan.LabelFunc
+	if g.Labeled() {
+		labelOf = g.Label
+	}
+	var total uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, numNodes)
+	for node := 0; node < numNodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			src := &testSource{local: locals[node], fabric: fabric, met: met.Nodes[node]}
+			sink := &core.CountSink{}
+			c := cfg
+			c.Metrics = met.Nodes[node]
+			eng := core.NewEngine(core.NewPlanExtender(pl, labelOf), src, sink, c)
+			errs[node] = eng.Run()
+			mu.Lock()
+			total += sink.Count()
+			mu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+	return total, met
+}
+
+func TestEngineSingleNodeMatchesPlan(t *testing.T) {
+	g := graph.RMATDefault(120, 600, 7)
+	for _, pat := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.Clique(4), pattern.CycleP(4),
+		pattern.PathP(4), pattern.House(), pattern.Clique(5),
+	} {
+		pl := plan.MustCompile(pat, plan.Options{Style: plan.StyleGraphPi})
+		want := plan.CountGraph(pl, g)
+		got, _ := runCluster(t, g, pl, 1, core.Config{Threads: 1})
+		if got != want {
+			t.Errorf("%v: engine %d, plan executor %d", pat, got, want)
+		}
+	}
+}
+
+func TestEngineMultiNodeMatchesBruteForce(t *testing.T) {
+	g := graph.RMATDefault(90, 450, 11)
+	for _, nodes := range []int{2, 3, 5} {
+		for _, pat := range []*pattern.Pattern{
+			pattern.Triangle(), pattern.Clique(4), pattern.CycleP(4), pattern.TailedTriangle(),
+		} {
+			pl := plan.MustCompile(pat, plan.Options{Style: plan.StyleGraphPi})
+			want := plan.BruteForceCount(g, pat, false)
+			got, met := runCluster(t, g, pl, nodes, core.Config{Threads: 2, HDS: true})
+			if got != want {
+				t.Errorf("%v on %d nodes: engine %d, brute force %d", pat, nodes, got, want)
+			}
+			if nodes > 1 && met.Summarize().BytesSent == 0 {
+				t.Errorf("%v on %d nodes: no network traffic recorded", pat, nodes)
+			}
+		}
+	}
+}
+
+func TestEngineInducedMatching(t *testing.T) {
+	g := graph.RMATDefault(70, 350, 13)
+	for _, pat := range []*pattern.Pattern{pattern.CycleP(4), pattern.PathP(4), pattern.StarP(4)} {
+		pl := plan.MustCompile(pat, plan.Options{Style: plan.StyleAutomine, Induced: true})
+		want := plan.BruteForceCount(g, pat, true)
+		got, _ := runCluster(t, g, pl, 3, core.Config{Threads: 2})
+		if got != want {
+			t.Errorf("induced %v: engine %d, brute force %d", pat, got, want)
+		}
+	}
+}
+
+func TestEngineTinyChunksForcePauseResume(t *testing.T) {
+	// Chunk capacity far below the embedding population exercises the
+	// BFS-DFS pause/resume machinery.
+	g := graph.RMATDefault(80, 500, 3)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	want := plan.CountGraph(pl, g)
+	for _, chunkSize := range []int{1, 2, 7, 64} {
+		got, _ := runCluster(t, g, pl, 2, core.Config{ChunkSize: chunkSize, Threads: 1})
+		if got != want {
+			t.Errorf("chunk=%d: got %d, want %d", chunkSize, got, want)
+		}
+	}
+}
+
+func TestEngineHDSCorrectAndSaves(t *testing.T) {
+	g := graph.RMATDefault(200, 1400, 5)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	want := plan.CountGraph(pl, g)
+
+	gotOff, metOff := runCluster(t, g, pl, 4, core.Config{HDS: false, Threads: 2})
+	gotOn, metOn := runCluster(t, g, pl, 4, core.Config{HDS: true, Threads: 2})
+	if gotOff != want || gotOn != want {
+		t.Fatalf("HDS changed counts: off=%d on=%d want=%d", gotOff, gotOn, want)
+	}
+	off, on := metOff.Summarize(), metOn.Summarize()
+	if on.HDSHits == 0 {
+		t.Fatal("HDS recorded no hits on a skewed graph")
+	}
+	if on.BytesSent >= off.BytesSent {
+		t.Fatalf("HDS did not reduce traffic: on=%d off=%d", on.BytesSent, off.BytesSent)
+	}
+}
+
+func TestEngineStaticCacheCorrectAndSaves(t *testing.T) {
+	g := graph.RMATDefault(200, 1400, 9)
+	pl := plan.MustCompile(pattern.Triangle(), plan.Options{Style: plan.StyleGraphPi})
+	want := plan.CountGraph(pl, g)
+
+	gotOff, metOff := runCluster(t, g, pl, 4, core.Config{Threads: 2})
+	// One shared cache would be wrong (caches are per machine); runCluster
+	// passes one Config to all nodes, so use a fresh runCluster variant via
+	// per-node caches below in cluster tests. Here a single node's cache
+	// still must not change counts.
+	c := cache.NewStatic(1<<20, 2)
+	gotOn, metOn := runCluster(t, g, pl, 4, core.Config{Threads: 2, Cache: c})
+	if gotOff != want || gotOn != want {
+		t.Fatalf("cache changed counts: off=%d on=%d want=%d", gotOff, gotOn, want)
+	}
+	off, on := metOff.Summarize(), metOn.Summarize()
+	if on.CacheHits == 0 {
+		t.Fatal("cache recorded no hits")
+	}
+	if on.BytesSent >= off.BytesSent {
+		t.Fatalf("cache did not reduce traffic: on=%d off=%d", on.BytesSent, off.BytesSent)
+	}
+}
+
+func TestEngineManyThreads(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 15)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	want := plan.CountGraph(pl, g)
+	for _, threads := range []int{2, 4, 8} {
+		got, _ := runCluster(t, g, pl, 2, core.Config{Threads: threads, HDS: true})
+		if got != want {
+			t.Errorf("threads=%d: got %d, want %d", threads, got, want)
+		}
+	}
+}
+
+// embSink collects embeddings for verification.
+type embSink struct {
+	mu   sync.Mutex
+	embs [][]graph.VertexID
+}
+
+func (s *embSink) OnMatch(emb []graph.VertexID) {
+	cp := append([]graph.VertexID(nil), emb...)
+	s.mu.Lock()
+	s.embs = append(s.embs, cp)
+	s.mu.Unlock()
+}
+
+func (s *embSink) CountOnly() bool { return false }
+
+func TestEngineEmitsValidEmbeddings(t *testing.T) {
+	g := graph.RMATDefault(60, 300, 19)
+	pat := pattern.Triangle()
+	pl := plan.MustCompile(pat, plan.Options{Style: plan.StyleGraphPi})
+	asg := partition.NewAssignment(1, 1)
+	local := partition.NewLocal(g, asg, 0)
+	fabric := comm.NewLocal([]comm.Server{comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+		panic("single node should not fetch")
+	})}, nil)
+	src := &testSource{local: local, fabric: fabric}
+	sink := &embSink{}
+	eng := core.NewEngine(core.NewPlanExtender(pl, nil), src, sink, core.Config{Threads: 2})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := plan.CountGraph(pl, g)
+	if uint64(len(sink.embs)) != want {
+		t.Fatalf("emitted %d embeddings, want %d", len(sink.embs), want)
+	}
+	for _, emb := range sink.embs {
+		for a := 0; a < 3; a++ {
+			for b := a + 1; b < 3; b++ {
+				if !g.HasEdge(emb[a], emb[b]) {
+					t.Fatalf("emitted non-triangle %v", emb)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineLabeledPattern(t *testing.T) {
+	g0 := graph.RMATDefault(100, 500, 23)
+	g, err := g0.WithLabels(graph.RandomLabels(100, 3, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := pattern.PathP(3).WithLabels([]graph.Label{0, 1, 2})
+	pl := plan.MustCompile(pat, plan.Options{Style: plan.StyleGraphPi})
+	want := plan.BruteForceCount(g, pat, false)
+	got, _ := runCluster(t, g, pl, 3, core.Config{Threads: 2})
+	if got != want {
+		t.Fatalf("labeled path: engine %d, brute force %d", got, want)
+	}
+}
+
+func TestEngineMetricsPopulated(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 31)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	_, met := runCluster(t, g, pl, 3, core.Config{Threads: 2, HDS: true})
+	s := met.Summarize()
+	if s.Extensions == 0 {
+		t.Error("no extensions recorded")
+	}
+	if s.Fetches == 0 {
+		t.Error("no fetches recorded")
+	}
+	if s.Matches == 0 {
+		t.Error("no matches recorded")
+	}
+	if s.Breakdown.Compute == 0 {
+		t.Error("no compute time recorded")
+	}
+}
+
+func TestEngineVCSOffStillCorrect(t *testing.T) {
+	g := graph.RMATDefault(100, 600, 37)
+	for _, disable := range []bool{false, true} {
+		pl := plan.MustCompile(pattern.Clique(5), plan.Options{Style: plan.StyleGraphPi, DisableVCS: disable})
+		want := plan.CountGraph(pl, g)
+		got, _ := runCluster(t, g, pl, 3, core.Config{Threads: 2})
+		if got != want {
+			t.Errorf("VCS disable=%v: got %d, want %d", disable, got, want)
+		}
+	}
+}
+
+func TestEngineStrictPipelineCorrect(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 61)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	want := plan.CountGraph(pl, g)
+	got, met := runCluster(t, g, pl, 4, core.Config{Threads: 2, StrictPipeline: true, HDS: true})
+	if got != want {
+		t.Fatalf("strict pipeline: %d, want %d", got, want)
+	}
+	if met.Summarize().BytesSent == 0 {
+		t.Fatal("no traffic under strict pipelining")
+	}
+}
+
+func TestPropertyEngineMatchesBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(40)
+		g := graph.Uniform(n, uint64(rng.Intn(5*n)), rng.Int63())
+		pats := []*pattern.Pattern{
+			pattern.Triangle(), pattern.CycleP(4), pattern.Clique(4), pattern.PathP(4),
+		}
+		pat := pats[rng.Intn(len(pats))]
+		induced := rng.Intn(2) == 0
+		nodes := 1 + rng.Intn(4)
+		chunk := 1 << uint(rng.Intn(8))
+		pl := plan.MustCompile(pat, plan.Options{Style: plan.StyleGraphPi, Induced: induced})
+		want := plan.BruteForceCount(g, pat, induced)
+		var got uint64
+		tt := &testing.T{}
+		got, _ = runCluster(tt, g, pl, nodes, core.Config{Threads: 2, ChunkSize: chunk, HDS: rng.Intn(2) == 0})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

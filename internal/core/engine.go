@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"khuzdul/internal/cache"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/plan"
+)
+
+// Config tunes one engine instance (one socket of one machine).
+type Config struct {
+	// ChunkSize is the soft capacity of a chunk in embeddings (paper §4.2;
+	// the paper sizes chunks in bytes, this implementation in embeddings —
+	// the bounded-memory argument is identical). Default 1<<15.
+	ChunkSize int
+	// Threads is the number of compute workers (paper §6 uses a 3:1
+	// compute:communication ratio; communication here is goroutines).
+	Threads int
+	// MiniBatch is the work-distribution unit in embeddings (paper: 64).
+	MiniBatch int
+	// FlushSize is the per-worker child buffer flushed into the next-level
+	// chunk under one lock acquisition (paper: half the L1-D cache).
+	FlushSize int
+	// HDS enables horizontal data sharing within a chunk (§5.2).
+	HDS bool
+	// StrictPipeline makes each circulant batch's fetch start only when the
+	// extender reaches that batch, instead of firing all fetches at chunk
+	// seal time. The paper explicitly rejects strict pipelining ("the
+	// computation does not stall communication", §4.3); this knob exists to
+	// measure what that choice buys (ablation experiment).
+	StrictPipeline bool
+	// Cache is the edge-list cache consulted before remote fetches; nil
+	// disables caching (§5.3, Figure 16/17 ablations).
+	Cache cache.Cache
+	// Metrics receives counters; nil disables metric collection.
+	Metrics *metrics.Node
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 1 << 15
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.MiniBatch <= 0 {
+		c.MiniBatch = 64
+	}
+	if c.FlushSize <= 0 {
+		c.FlushSize = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = &metrics.Node{}
+	}
+	return c
+}
+
+// BulkSink is implemented by sinks that can absorb match counts without
+// materialized embeddings (the counting fast path).
+type BulkSink interface {
+	Sink
+	Add(n uint64)
+}
+
+// Engine executes one client system's EXTEND function over one partition
+// with the BFS-DFS hybrid exploration. Create one per socket per machine.
+type Engine struct {
+	ext       Extender
+	src       DataSource
+	sink      Sink
+	bulk      BulkSink // non-nil when sink supports bulk counting
+	cfg       Config
+	met       *metrics.Node
+	k         int
+	countOnly bool
+
+	path    []*chunk // current chunk per level along the DFS path
+	free    []*chunk
+	workers []*workerCtx
+	flushMu sync.Mutex
+	// live tracks currently allocated extendable embeddings across all live
+	// chunks, feeding the PeakEmbeddings metric — the measurable form of
+	// the paper's bounded-memory claim (§4.2).
+	live atomic.Int64
+}
+
+type workerCtx struct {
+	scratch *plan.Scratch
+	anc     []int32
+	emb     []graph.VertexID
+	lists   [][]graph.VertexID
+	buf     []child
+	matches uint64
+	exts    uint64
+}
+
+func (w *workerCtx) getList(pos int) []graph.VertexID { return w.lists[pos] }
+
+// NewEngine assembles an engine from a client system's extender, a machine's
+// data source and an application sink.
+func NewEngine(ext Extender, src DataSource, sink Sink, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		ext:  ext,
+		src:  src,
+		sink: sink,
+		cfg:  cfg,
+		met:  cfg.Metrics,
+		k:    ext.K(),
+	}
+	if b, ok := sink.(BulkSink); ok && sink.CountOnly() {
+		e.bulk = b
+		e.countOnly = true
+	}
+	e.path = make([]*chunk, e.k)
+	e.workers = make([]*workerCtx, cfg.Threads)
+	for i := range e.workers {
+		e.workers[i] = &workerCtx{
+			scratch: ext.NewScratch(),
+			anc:     make([]int32, e.k),
+			emb:     make([]graph.VertexID, e.k),
+			lists:   make([][]graph.VertexID, e.k),
+			buf:     make([]child, 0, cfg.FlushSize),
+		}
+	}
+	return e
+}
+
+// Run explores the embedding trees of every root this engine owns. It
+// blocks until exploration completes and returns the first fetch error.
+func (e *Engine) Run() error {
+	roots := e.src.Roots()
+	for start := 0; start < len(roots); start += e.cfg.ChunkSize {
+		end := start + e.cfg.ChunkSize
+		if end > len(roots) {
+			end = len(roots)
+		}
+		ch := e.rootChunk(roots[start:end])
+		if ch.len() == 0 {
+			e.putChunk(ch)
+			continue
+		}
+		e.path[0] = ch
+		err := e.process(ch)
+		e.putChunk(ch)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rootChunk builds a level-0 chunk from a batch of roots. Root edge lists
+// are always local: a machine explores the trees of its own partition.
+func (e *Engine) rootChunk(roots []graph.VertexID) *chunk {
+	ch := e.getChunk(0)
+	for _, v := range roots {
+		if e.ext.RootOK(v) {
+			ch.append(-1, v, nil)
+		}
+	}
+	if e.ext.NeedsList(0) {
+		for i, v := range ch.vertex {
+			ch.lists[i] = e.src.LocalList(v)
+		}
+	}
+	b := newFetchBatch()
+	b.idxs = make([]int32, ch.len())
+	for i := range b.idxs {
+		b.idxs[i] = int32(i)
+	}
+	b.closeReady()
+	ch.batches = []*fetchBatch{b}
+	e.met.RecordPeakEmbeddings(uint64(e.live.Add(int64(ch.len()))))
+	return ch
+}
+
+// process extends every embedding of ch to completion: DFS among chunks,
+// BFS within a chunk (paper Figure 7). ch's communication batches must
+// already be prepared and its entry installed in e.path.
+func (e *Engine) process(ch *chunk) error {
+	final := ch.level == e.k-2
+	if final {
+		for _, b := range ch.batches {
+			if err := e.waitBatch(b); err != nil {
+				return err
+			}
+			e.extendRound(ch, b, nil, true)
+		}
+		return nil
+	}
+	bi := 0
+	for bi < len(ch.batches) {
+		next := e.getChunk(ch.level + 1)
+		for bi < len(ch.batches) && !next.full() {
+			b := ch.batches[bi]
+			if err := e.waitBatch(b); err != nil {
+				e.putChunk(next)
+				return err
+			}
+			e.extendRound(ch, b, next, false)
+			if b.next >= len(b.idxs) {
+				bi++
+			}
+		}
+		if next.len() > 0 {
+			e.prepare(next)
+			e.path[next.level] = next
+			if err := e.process(next); err != nil {
+				e.putChunk(next)
+				return err
+			}
+		}
+		// Backtrack: all of next's descendants are complete, so its memory
+		// is released (the zombie → terminated transition of Figure 6,
+		// bottom-up deallocation).
+		e.putChunk(next)
+	}
+	return nil
+}
+
+// waitBatch blocks until a batch's communication completes, accounting the
+// wait as network time. Under strict pipelining the fetch itself runs here.
+func (e *Engine) waitBatch(b *fetchBatch) error {
+	if f := b.lazyFetch; f != nil {
+		b.lazyFetch = nil
+		t0 := time.Now()
+		f()
+		e.met.AddNetwork(time.Since(t0))
+		return b.err
+	}
+	select {
+	case <-b.ready:
+	default:
+		t0 := time.Now()
+		<-b.ready
+		e.met.AddNetwork(time.Since(t0))
+	}
+	return b.err
+}
+
+// extendRound extends the unprocessed embeddings of batch b, appending
+// children into next (or counting matches when final). It stops early when
+// next fills up, recording progress in b.next.
+func (e *Engine) extendRound(ch *chunk, b *fetchBatch, next *chunk, final bool) {
+	rem := b.idxs[b.next:]
+	if len(rem) == 0 {
+		return
+	}
+	mini := e.cfg.MiniBatch
+	nWorkers := (len(rem) + mini - 1) / mini
+	if nWorkers > e.cfg.Threads {
+		nWorkers = e.cfg.Threads
+	}
+	var cursor atomic.Int64
+	work := func(w *workerCtx) {
+		t0 := time.Now()
+		for {
+			if next != nil && next.full() {
+				break
+			}
+			m := int(cursor.Add(1)) - 1
+			start := m * mini
+			if start >= len(rem) {
+				break
+			}
+			end := start + mini
+			if end > len(rem) {
+				end = len(rem)
+			}
+			for _, idx := range rem[start:end] {
+				e.extendOne(w, ch, idx, next, final)
+			}
+		}
+		if next != nil {
+			e.flush(w, next)
+		}
+		e.met.AddCompute(time.Since(t0))
+	}
+	if nWorkers <= 1 {
+		work(e.workers[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < nWorkers; i++ {
+			wg.Add(1)
+			go func(w *workerCtx) {
+				defer wg.Done()
+				work(w)
+			}(e.workers[i])
+		}
+		wg.Wait()
+	}
+	consumed := int(cursor.Load()) * mini
+	if consumed > len(rem) {
+		consumed = len(rem)
+	}
+	b.next += consumed
+	// Drain per-worker counters.
+	for _, w := range e.workers {
+		if w.matches > 0 {
+			e.met.Matches.Add(w.matches)
+			if e.bulk != nil {
+				e.bulk.Add(w.matches)
+			}
+			w.matches = 0
+		}
+		if w.exts > 0 {
+			e.met.Extensions.Add(w.exts)
+			w.exts = 0
+		}
+	}
+}
+
+// extendOne performs one fine-grained task: extend a single extendable
+// embedding by one vertex (paper §3.1). Active edge lists of earlier
+// positions are resolved through the parent chain — vertical data sharing.
+func (e *Engine) extendOne(w *workerCtx, ch *chunk, idx int32, next *chunk, final bool) {
+	level := ch.level
+	w.anc[level] = idx
+	for l := level; l > 0; l-- {
+		w.anc[l-1] = e.path[l].parent[w.anc[l]]
+	}
+	for l := 0; l <= level; l++ {
+		c := e.path[l]
+		w.emb[l] = c.vertex[w.anc[l]]
+		w.lists[l] = c.lists[w.anc[l]]
+	}
+	w.exts++
+	cands, raw := e.ext.Extend(w.scratch, level+1, w.emb[:level+1], w.getList, ch.inter[idx])
+	if final {
+		if e.countOnly {
+			w.matches += uint64(len(cands))
+			return
+		}
+		for _, v := range cands {
+			w.emb[level+1] = v
+			e.sink.OnMatch(w.emb[:e.k])
+		}
+		w.matches += uint64(len(cands))
+		return
+	}
+	var interCopy []graph.VertexID
+	if e.ext.StoreInter(level+1) && len(cands) > 0 {
+		interCopy = append([]graph.VertexID(nil), raw...)
+	}
+	for _, v := range cands {
+		w.buf = append(w.buf, child{parent: idx, vertex: v, inter: interCopy})
+	}
+	if len(w.buf) >= e.cfg.FlushSize {
+		e.flush(w, next)
+	}
+}
+
+// flush moves a worker's buffered children into the next-level chunk under
+// one lock acquisition (paper §6: per-thread buffers to avoid contention).
+func (e *Engine) flush(w *workerCtx, next *chunk) {
+	if len(w.buf) == 0 {
+		return
+	}
+	e.flushMu.Lock()
+	for _, c := range w.buf {
+		next.append(c.parent, c.vertex, c.inter)
+	}
+	e.flushMu.Unlock()
+	e.met.RecordPeakEmbeddings(uint64(e.live.Add(int64(len(w.buf)))))
+	w.buf = w.buf[:0]
+}
+
+func (e *Engine) getChunk(level int) *chunk {
+	if n := len(e.free); n > 0 {
+		ch := e.free[n-1]
+		e.free = e.free[:n-1]
+		ch.reset(level)
+		return ch
+	}
+	return newChunk(level, e.cfg.ChunkSize)
+}
+
+func (e *Engine) putChunk(ch *chunk) {
+	e.live.Add(-int64(ch.len()))
+	e.free = append(e.free, ch)
+}
+
+// Metrics returns the engine's metrics node.
+func (e *Engine) Metrics() *metrics.Node { return e.met }
+
+// String describes the engine configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine{k=%d chunk=%d threads=%d hds=%v cache=%v}",
+		e.k, e.cfg.ChunkSize, e.cfg.Threads, e.cfg.HDS, e.cfg.Cache != nil)
+}

@@ -1,0 +1,105 @@
+// Package core is the Khuzdul distributed execution engine — the paper's
+// primary contribution. It realizes the extendable-embedding abstraction:
+// fine-grained tasks, each extending one partially-constructed embedding by
+// one vertex given its active edge lists, scheduled with a BFS-DFS hybrid
+// over fixed-size chunks (§4), circulant communication batching (§4.3), and
+// three forms of GPM-specific data reuse (§5): vertical sharing through
+// parent pointers, horizontal sharing within a chunk, and the static cache.
+//
+// The engine is client-agnostic: client GPM systems (internal/automine,
+// internal/graphpi) supply an Extender — the paper's EXTEND function — and a
+// DataSource supplies partitioned graph data.
+package core
+
+import (
+	"khuzdul/internal/graph"
+	"khuzdul/internal/plan"
+)
+
+// Extender is the EXTEND interface between a client GPM system and the
+// Khuzdul engine (paper §3.2). An extender knows, for each level of the
+// embedding tree, how to turn an extendable embedding into its children; the
+// engine owns scheduling, communication, and memory.
+type Extender interface {
+	// K returns the pattern size (number of levels).
+	K() int
+	// NeedsList reports whether the vertex matched at the given level is an
+	// active vertex of a deeper level, i.e. its edge list must be fetched
+	// into the extendable embedding.
+	NeedsList(level int) bool
+	// StoreInter reports whether the raw intersection computed when matching
+	// the given level should be stored for reuse by the next level (the
+	// paper's vertical computation sharing).
+	StoreInter(level int) bool
+	// ListPositions returns the positions whose edge lists Extend reads when
+	// matching the given level.
+	ListPositions(level int) []int
+	// Extend computes the candidate vertices for matching position level,
+	// given the embedding's earlier vertices and an accessor for the active
+	// edge lists. parentRaw is the intersection stored by the parent level
+	// (nil when absent). It returns the candidates and the raw intersection
+	// to store when StoreInter(level) is true. Both returned slices may
+	// alias scratch storage owned by s.
+	Extend(s *plan.Scratch, level int, emb []graph.VertexID, getList func(pos int) []graph.VertexID, parentRaw []graph.VertexID) (cands, raw []graph.VertexID)
+	// RootOK reports whether a vertex may occupy position 0.
+	RootOK(v graph.VertexID) bool
+	// NewScratch allocates per-worker scratch storage.
+	NewScratch() *plan.Scratch
+}
+
+// PlanExtender adapts a compiled plan to the Extender interface. LabelOf
+// and EdgeLabelOf may be nil for graphs without the corresponding labels.
+type PlanExtender struct {
+	Plan    *plan.Plan
+	LabelOf plan.LabelFunc
+	// EdgeLabelOf filters candidates by edge label for edge-labeled
+	// patterns. Labels are treated as replicated metadata in this
+	// simulation; a production deployment would ship them alongside
+	// fetched edge lists (one extra label word per edge on the wire).
+	EdgeLabelOf plan.EdgeLabelFunc
+}
+
+// NewPlanExtender wraps a plan as an Extender.
+func NewPlanExtender(p *plan.Plan, labelOf plan.LabelFunc) *PlanExtender {
+	return &PlanExtender{Plan: p, LabelOf: labelOf}
+}
+
+// K implements Extender.
+func (e *PlanExtender) K() int { return e.Plan.K }
+
+// NeedsList implements Extender.
+func (e *PlanExtender) NeedsList(level int) bool { return e.Plan.Levels[level].NeedsList }
+
+// StoreInter implements Extender.
+func (e *PlanExtender) StoreInter(level int) bool { return e.Plan.Levels[level].StoreInter }
+
+// ListPositions implements Extender.
+func (e *PlanExtender) ListPositions(level int) []int {
+	lv := &e.Plan.Levels[level]
+	if !e.Plan.Induced || len(lv.Subtract) == 0 {
+		return lv.Intersect
+	}
+	out := make([]int, 0, len(lv.Intersect)+len(lv.Subtract))
+	out = append(out, lv.Intersect...)
+	out = append(out, lv.Subtract...)
+	return out
+}
+
+// Extend implements Extender.
+func (e *PlanExtender) Extend(s *plan.Scratch, level int, emb []graph.VertexID, getList func(pos int) []graph.VertexID, parentRaw []graph.VertexID) (cands, raw []graph.VertexID) {
+	raw = e.Plan.RawIntersect(s, level, getList, parentRaw)
+	cands = e.Plan.Candidates(s, level, emb, raw, getList, e.LabelOf)
+	cands = e.Plan.FilterEdgeLabels(level, emb, cands, e.EdgeLabelOf)
+	return cands, raw
+}
+
+// RootOK implements Extender.
+func (e *PlanExtender) RootOK(v graph.VertexID) bool {
+	if e.LabelOf == nil || !e.Plan.Labeled() {
+		return true
+	}
+	return e.LabelOf(v) == e.Plan.PosLabel(0)
+}
+
+// NewScratch implements Extender.
+func (e *PlanExtender) NewScratch() *plan.Scratch { return plan.NewScratch(e.Plan) }

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"testing"
+
+	"khuzdul/internal/core"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// TestBoundedMemoryClaim verifies the paper's §4.2 argument: with the
+// BFS-DFS hybrid, live extendable embeddings stay bounded by roughly
+// K × chunk size (plus the bounded worker overshoot), no matter how many
+// embeddings the workload generates — while a BFS-ish configuration (one
+// huge chunk) holds the whole level in memory.
+func TestBoundedMemoryClaim(t *testing.T) {
+	g := graph.RMATDefault(300, 2500, 997)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+
+	const chunkSize = 128
+	threads := 2
+	cfg := core.Config{ChunkSize: chunkSize, Threads: threads, MiniBatch: 16}
+	_, metSmall := runCluster(t, g, pl, 1, cfg)
+	peakSmall := metSmall.Summarize().PeakEmbeddings
+	if peakSmall == 0 {
+		t.Fatal("no peak recorded")
+	}
+	// Bound: K live chunks of chunkSize plus per-round overshoot (claimed
+	// mini-batches each emitting up to maxdeg children).
+	bound := uint64(pl.K)*chunkSize + uint64(threads*16)*uint64(g.MaxDegree())
+	if peakSmall > bound {
+		t.Fatalf("peak %d exceeds hybrid bound %d", peakSmall, bound)
+	}
+
+	_, metHuge := runCluster(t, g, pl, 1, core.Config{ChunkSize: 1 << 22, Threads: threads})
+	peakHuge := metHuge.Summarize().PeakEmbeddings
+	if peakHuge <= peakSmall {
+		t.Fatalf("BFS-style peak %d not above hybrid peak %d", peakHuge, peakSmall)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"time"
+
+	"khuzdul/internal/graph"
+)
+
+// fetchGroup collects the per-owner fetch work for one chunk.
+type fetchGroup struct {
+	owner     int
+	fetchIdxs []int32          // embeddings whose vertex list must be fetched
+	vs        []graph.VertexID // vertices to fetch, parallel to fetchIdxs
+	aliasFrom []int32          // horizontal sharing: ch.lists[aliasTo[i]] = ch.lists[aliasFrom[i]]
+	aliasTo   []int32
+}
+
+// prepare seals a chunk: it classifies every embedding's new vertex by
+// locality, resolves local / cross-socket / cached / horizontally-shared
+// lists immediately, groups the rest into per-machine batches in circulant
+// order (local machine's resolved batch first, then machines K+1, K+2, …
+// mod N — paper §4.3), and fires one background fetch per remote batch so
+// communication overlaps with the extension of earlier batches.
+func (e *Engine) prepare(ch *chunk) {
+	t0 := time.Now()
+	defer func() { e.met.AddScheduler(time.Since(t0)) }()
+
+	n := ch.len()
+	if !e.ext.NeedsList(ch.level) {
+		b := newFetchBatch()
+		b.idxs = allIdxs(n)
+		b.closeReady()
+		ch.batches = []*fetchBatch{b}
+		return
+	}
+
+	numNodes := e.src.NumNodes()
+	local := e.src.LocalNode()
+	resolved := newFetchBatch()
+	groups := make([]*fetchGroup, numNodes)
+
+	// Horizontal data sharing: a per-chunk open-addressed table keyed by
+	// vertex, one slot per hash, no collision chains — colliding inserts are
+	// simply dropped (paper §5.2), trading a little duplicate traffic for a
+	// near-free table.
+	var table []int32
+	var mask uint32
+	if e.cfg.HDS {
+		size := 1
+		for size < 2*n {
+			size <<= 1
+		}
+		table = make([]int32, size)
+		for i := range table {
+			table[i] = -1
+		}
+		mask = uint32(size - 1)
+	}
+
+	var cacheDur time.Duration
+	var fetches, remote, cacheHits, cacheMisses, hdsHits, vertHits uint64
+	for i := 0; i < n; i++ {
+		v := ch.vertex[i]
+		fetches++
+		loc, owner := e.src.Classify(v)
+		switch loc {
+		case LocalityLocal:
+			ch.lists[i] = e.src.LocalList(v)
+			resolved.idxs = append(resolved.idxs, int32(i))
+			continue
+		case LocalityCrossSocket:
+			ch.lists[i] = e.src.CrossSocketList(v)
+			resolved.idxs = append(resolved.idxs, int32(i))
+			continue
+		}
+		if e.cfg.Cache != nil {
+			tc := time.Now()
+			l, ok := e.cfg.Cache.Get(v)
+			cacheDur += time.Since(tc)
+			if ok {
+				ch.lists[i] = l
+				resolved.idxs = append(resolved.idxs, int32(i))
+				cacheHits++
+				continue
+			}
+			cacheMisses++
+		}
+		g := groups[owner]
+		if g == nil {
+			g = &fetchGroup{owner: owner}
+			groups[owner] = g
+		}
+		if e.cfg.HDS {
+			h := hashVertex(v) & mask
+			switch first := table[h]; {
+			case first == -1:
+				table[h] = int32(i)
+			case ch.vertex[first] == v:
+				// Same vertex already being fetched in this chunk: share it.
+				g.aliasFrom = append(g.aliasFrom, first)
+				g.aliasTo = append(g.aliasTo, int32(i))
+				hdsHits++
+				continue
+			default:
+				// Hash collision with a different vertex: fetch redundantly
+				// rather than maintain a collision chain.
+			}
+		}
+		g.fetchIdxs = append(g.fetchIdxs, int32(i))
+		g.vs = append(g.vs, v)
+		remote++
+	}
+	_ = vertHits
+
+	e.met.Fetches.Add(fetches)
+	e.met.RemoteFetches.Add(remote)
+	e.met.CacheHits.Add(cacheHits)
+	e.met.CacheMisses.Add(cacheMisses)
+	e.met.HDSHits.Add(hdsHits)
+	if cacheDur > 0 {
+		e.met.AddCache(cacheDur)
+	}
+
+	resolved.closeReady()
+	batches := []*fetchBatch{resolved}
+	// Circulant order over remote machines: (local+1)%N, (local+2)%N, …
+	// Aliased embeddings ride in the batch of the embedding that fetches.
+	for d := 1; d < numNodes; d++ {
+		owner := (local + d) % numNodes
+		g := groups[owner]
+		if g == nil {
+			continue
+		}
+		b := newFetchBatch()
+		b.idxs = append(b.idxs, g.fetchIdxs...)
+		b.idxs = append(b.idxs, g.aliasTo...)
+		batches = append(batches, b)
+		if e.cfg.StrictPipeline {
+			g := g
+			b.lazyFetch = func() { e.runFetch(ch, b, g) }
+		} else {
+			go e.runFetch(ch, b, g)
+		}
+	}
+	ch.batches = batches
+}
+
+// runFetch performs one circulant batch's blocking fetch and publishes the
+// lists, then releases extenders waiting on the batch.
+func (e *Engine) runFetch(ch *chunk, b *fetchBatch, g *fetchGroup) {
+	lists, err := e.src.Fetch(g.owner, g.vs)
+	if err != nil {
+		b.err = err
+		b.closeReady()
+		return
+	}
+	var cacheDur time.Duration
+	for j, idx := range g.fetchIdxs {
+		ch.lists[idx] = lists[j]
+		if e.cfg.Cache != nil {
+			tc := time.Now()
+			e.cfg.Cache.MaybePut(g.vs[j], lists[j])
+			cacheDur += time.Since(tc)
+		}
+	}
+	for j := range g.aliasTo {
+		ch.lists[g.aliasTo[j]] = ch.lists[g.aliasFrom[j]]
+	}
+	if cacheDur > 0 {
+		e.met.AddCache(cacheDur)
+	}
+	b.closeReady()
+}
+
+func allIdxs(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// hashVertex mixes a vertex ID for the HDS table.
+func hashVertex(v graph.VertexID) uint32 {
+	h := uint32(v)
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return h
+}

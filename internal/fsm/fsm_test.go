@@ -1,0 +1,231 @@
+package fsm
+
+import (
+	"testing"
+
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// refSupport computes MNI support by brute-force enumeration of all
+// injective label- and edge-respecting maps.
+func refSupport(g *graph.Graph, pat *pattern.Pattern) uint64 {
+	k := pat.NumVertices()
+	doms := make([]map[graph.VertexID]bool, k)
+	for i := range doms {
+		doms[i] = map[graph.VertexID]bool{}
+	}
+	emb := make([]graph.VertexID, k)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == k {
+			for i, v := range emb {
+				doms[i][v] = true
+			}
+			return
+		}
+	next:
+		for v := 0; v < g.NumVertices(); v++ {
+			cand := graph.VertexID(v)
+			if g.Label(cand) != pat.Label(pos) {
+				continue
+			}
+			for j := 0; j < pos; j++ {
+				if emb[j] == cand {
+					continue next
+				}
+				if pat.HasEdge(j, pos) && !g.HasEdge(emb[j], cand) {
+					continue next
+				}
+			}
+			emb[pos] = cand
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	min := uint64(1<<63 - 1)
+	for _, d := range doms {
+		if uint64(len(d)) < min {
+			min = uint64(len(d))
+		}
+	}
+	return min
+}
+
+func labeledGraph(n int, m uint64, numLabels int, seed int64) *graph.Graph {
+	g0 := graph.RMATDefault(n, m, seed)
+	g, err := g0.WithLabels(graph.RandomLabels(n, numLabels, seed+1))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSupportMatchesReference(t *testing.T) {
+	g := labeledGraph(40, 160, 2, 151)
+	pats := []*pattern.Pattern{
+		pattern.PathP(2).WithLabels([]graph.Label{0, 1}),
+		pattern.PathP(3).WithLabels([]graph.Label{0, 1, 0}),
+		pattern.Triangle().WithLabels([]graph.Label{0, 0, 1}),
+		pattern.StarP(4).WithLabels([]graph.Label{1, 0, 0, 0}),
+	}
+	for _, pat := range pats {
+		want := refSupport(g, pat)
+		got, err := localSupport(g, pat, plan.StyleAutomine, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("localSupport(%v) = %d, want %d", pat, got, want)
+		}
+	}
+}
+
+func TestClusterSupportMatchesLocal(t *testing.T) {
+	g := labeledGraph(60, 240, 3, 157)
+	c, err := cluster.New(g, cluster.Config{NumNodes: 3, ThreadsPerSocket: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pats := []*pattern.Pattern{
+		pattern.PathP(2).WithLabels([]graph.Label{0, 1}),
+		pattern.PathP(3).WithLabels([]graph.Label{1, 2, 1}),
+		pattern.Triangle().WithLabels([]graph.Label{0, 1, 2}),
+	}
+	for _, pat := range pats {
+		want, err := localSupport(g, pat, plan.StyleAutomine, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := clusterSupport(c, pat, plan.StyleAutomine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("clusterSupport(%v) = %d, want %d", pat, got, want)
+		}
+	}
+}
+
+func TestMineSingleFindsFrequentPatterns(t *testing.T) {
+	// A graph made of many disjoint labeled triangles (0-1-2): every labeled
+	// sub-pattern of the triangle is frequent, anything else has support 0.
+	b := graph.NewBuilder(0)
+	labels := []graph.Label{}
+	const copies = 20
+	for i := 0; i < copies; i++ {
+		base := graph.VertexID(3 * i)
+		b.AddEdge(base, base+1)
+		b.AddEdge(base+1, base+2)
+		b.AddEdge(base+2, base)
+		labels = append(labels, 0, 1, 2)
+	}
+	b.SetLabels(labels)
+	g := b.Build()
+
+	res, err := MineSingle(g, Config{MinSupport: copies, MaxEdges: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequent: 3 labeled edges (0-1, 1-2, 0-2), 3 labeled wedges, 1 labeled
+	// triangle = 7 patterns, all with support exactly `copies`.
+	if len(res.Frequent) != 7 {
+		for _, fp := range res.Frequent {
+			t.Logf("frequent: %v support=%d", fp.Pattern, fp.Support)
+		}
+		t.Fatalf("found %d frequent patterns, want 7", len(res.Frequent))
+	}
+	for _, fp := range res.Frequent {
+		if fp.Support != copies {
+			t.Errorf("%v support = %d, want %d", fp.Pattern, fp.Support, copies)
+		}
+	}
+	// The triangle itself must be among them.
+	foundTriangle := false
+	for _, fp := range res.Frequent {
+		if fp.Pattern.NumEdges() == 3 && fp.Pattern.NumVertices() == 3 {
+			foundTriangle = true
+		}
+	}
+	if !foundTriangle {
+		t.Fatal("labeled triangle not found frequent")
+	}
+}
+
+func TestMineThresholdFilters(t *testing.T) {
+	g := labeledGraph(80, 320, 2, 163)
+	lo, err := MineSingle(g, Config{MinSupport: 2, MaxEdges: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MineSingle(g, Config{MinSupport: 1 << 40, MaxEdges: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi.Frequent) != 0 {
+		t.Fatalf("impossible threshold found %d patterns", len(hi.Frequent))
+	}
+	if len(lo.Frequent) == 0 {
+		t.Fatal("low threshold found nothing")
+	}
+	// Anti-monotone sanity: every reported support meets the threshold.
+	for _, fp := range lo.Frequent {
+		if fp.Support < 2 {
+			t.Errorf("%v support %d below threshold", fp.Pattern, fp.Support)
+		}
+	}
+}
+
+func TestMineClusterMatchesSingle(t *testing.T) {
+	g := labeledGraph(50, 200, 2, 167)
+	single, err := MineSingle(g, Config{MinSupport: 3, MaxEdges: 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(g, cluster.Config{NumNodes: 3, ThreadsPerSocket: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dist, err := Mine(c, Config{MinSupport: 3, MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Frequent) != len(dist.Frequent) {
+		t.Fatalf("single found %d, cluster %d", len(single.Frequent), len(dist.Frequent))
+	}
+	for i := range single.Frequent {
+		a, b := single.Frequent[i], dist.Frequent[i]
+		if a.Support != b.Support || !pattern.Isomorphic(a.Pattern, b.Pattern) {
+			t.Fatalf("mismatch at %d: %v/%d vs %v/%d",
+				i, a.Pattern, a.Support, b.Pattern, b.Support)
+		}
+	}
+}
+
+func TestMineRejectsUnlabeled(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := MineSingle(g, Config{MinSupport: 1}, 1); err == nil {
+		t.Fatal("want error for unlabeled graph")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if b.count() != 3 {
+		t.Fatalf("count = %d", b.count())
+	}
+	o := newBitset(130)
+	o.set(64)
+	o.set(65)
+	b.or(o)
+	if b.count() != 4 {
+		t.Fatalf("count after or = %d", b.count())
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestFromLabeledEdges(t *testing.T) {
+	g, err := FromLabeledEdges(0, []LabeledEdge{
+		{U: 0, V: 1, Label: 5},
+		{U: 1, V: 2, Label: 7},
+		{U: 2, V: 0, Label: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.EdgeLabeled() {
+		t.Fatal("graph not edge-labeled")
+	}
+	cases := []struct {
+		u, v VertexID
+		want Label
+	}{{0, 1, 5}, {1, 0, 5}, {1, 2, 7}, {2, 1, 7}, {0, 2, 9}, {2, 0, 9}}
+	for _, c := range cases {
+		got, ok := g.EdgeLabel(c.u, c.v)
+		if !ok || got != c.want {
+			t.Errorf("EdgeLabel(%d,%d) = %d,%v want %d", c.u, c.v, got, ok, c.want)
+		}
+	}
+	if _, ok := g.EdgeLabel(0, 3); ok {
+		t.Fatal("EdgeLabel on absent edge reported ok")
+	}
+}
+
+func TestFromLabeledEdgesDedupAndLoops(t *testing.T) {
+	g, err := FromLabeledEdges(3, []LabeledEdge{
+		{U: 0, V: 1, Label: 1},
+		{U: 1, V: 0, Label: 1}, // duplicate, same label: fine
+		{U: 2, V: 2, Label: 9}, // self-loop: dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestFromLabeledEdgesFirstOccurrenceWins(t *testing.T) {
+	g, err := FromLabeledEdges(2, []LabeledEdge{
+		{U: 0, V: 1, Label: 1},
+		{U: 1, V: 0, Label: 2}, // duplicate with a different label
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First occurrence wins, symmetrically in both directions.
+	a, _ := g.EdgeLabel(0, 1)
+	b, _ := g.EdgeLabel(1, 0)
+	if a != 1 || b != 1 {
+		t.Fatalf("labels = %d/%d, want 1/1", a, b)
+	}
+}
+
+func TestWithRandomEdgeLabelsSymmetric(t *testing.T) {
+	g := RMATDefault(200, 800, 33).WithRandomEdgeLabels(3, 11)
+	if !g.EdgeLabeled() {
+		t.Fatal("not edge-labeled")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(VertexID(v)) {
+			a, okA := g.EdgeLabel(VertexID(v), u)
+			b, okB := g.EdgeLabel(u, VertexID(v))
+			if !okA || !okB || a != b {
+				t.Fatalf("asymmetric edge label on {%d,%d}: %d/%v vs %d/%v", v, u, a, okA, b, okB)
+			}
+			if a > 2 {
+				t.Fatalf("label %d out of range", a)
+			}
+		}
+	}
+}
+
+func TestUnlabeledEdgeLabelZero(t *testing.T) {
+	g := Path(3)
+	if g.EdgeLabeled() {
+		t.Fatal("plain graph claims edge labels")
+	}
+	l, ok := g.EdgeLabel(0, 1)
+	if !ok || l != 0 {
+		t.Fatalf("EdgeLabel on unlabeled graph = %d,%v", l, ok)
+	}
+}

@@ -1,0 +1,67 @@
+package graphpi
+
+import (
+	"testing"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func TestCompileProducesGraphPiStyle(t *testing.T) {
+	g := graph.RMATDefault(100, 500, 821)
+	pl, err := Compile(pattern.House(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Style != plan.StyleGraphPi {
+		t.Fatalf("style = %v", pl.Style)
+	}
+	if got, want := plan.CountGraph(pl, g), plan.BruteForceCount(g, pattern.House(), false); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestScheduleSearchUsesCostModel(t *testing.T) {
+	// GraphPi's search must never pick a schedule worse than Automine's
+	// canonical one under the same cost model.
+	g := graph.RMATDefault(100, 500, 823)
+	for _, pat := range []*pattern.Pattern{
+		pattern.House(), pattern.TailedTriangle(), pattern.CycleP(5), pattern.Diamond(),
+	} {
+		gp, err := Compile(pat, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, err := plan.Compile(pat, plan.Options{Style: plan.StyleAutomine, Stats: plan.StatsOf(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gp.EstCost > am.EstCost {
+			t.Errorf("%v: GraphPi schedule cost %.1f worse than Automine's %.1f",
+				pat, gp.EstCost, am.EstCost)
+		}
+	}
+}
+
+func TestCompileMotifs(t *testing.T) {
+	g := graph.RMATDefault(60, 300, 827)
+	plans, err := CompileMotifs(3, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("3-motif plans = %d, want 2", len(plans))
+	}
+	var total uint64
+	for _, pl := range plans {
+		total += plan.CountGraph(pl, g)
+	}
+	var want uint64
+	for _, pat := range pattern.ConnectedPatterns(3) {
+		want += plan.BruteForceCount(g, pat, true)
+	}
+	if total != want {
+		t.Fatalf("3-motif total = %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,116 @@
+package gthinker
+
+import (
+	"time"
+
+	"sync"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+)
+
+// swCache is G-thinker's general software cache for remote edge lists. It
+// maintains the map between tasks and the edge lists they depend on
+// (paper Figure 2): every acquire and insert updates reference sets under a
+// global lock, and garbage collection scans for unreferenced entries when
+// the cache exceeds capacity. This bookkeeping is the "high computation
+// overhead" the paper measures as the cache portion of Figure 15.
+type swCache struct {
+	mu       sync.Mutex
+	entries  map[graph.VertexID]*swEntry
+	taskDeps map[int64][]graph.VertexID // task → vertices it holds references to
+	size     uint64
+	capacity uint64
+}
+
+type swEntry struct {
+	list []graph.VertexID
+	refs map[int64]bool // tasks currently depending on this entry
+}
+
+func newSWCache(capacity uint64) *swCache {
+	return &swCache{
+		entries:  map[graph.VertexID]*swEntry{},
+		taskDeps: map[int64][]graph.VertexID{},
+		capacity: capacity,
+	}
+}
+
+// acquire looks up v for a task, registering the dependency on hit.
+func (c *swCache) acquire(task int64, v graph.VertexID, met *metrics.Node) ([]graph.VertexID, bool) {
+	t0 := time.Now()
+	defer func() { met.AddCache(time.Since(t0)) }()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[v]
+	if !ok {
+		return nil, false
+	}
+	if !e.refs[task] {
+		e.refs[task] = true
+		c.taskDeps[task] = append(c.taskDeps[task], v)
+	}
+	return e.list, true
+}
+
+// insert stores a fetched list and registers the fetching task's reference.
+func (c *swCache) insert(task int64, v graph.VertexID, list []graph.VertexID, met *metrics.Node) {
+	t0 := time.Now()
+	defer func() { met.AddCache(time.Since(t0)) }()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[v]; ok {
+		if !e.refs[task] {
+			e.refs[task] = true
+			c.taskDeps[task] = append(c.taskDeps[task], v)
+		}
+		return
+	}
+	e := &swEntry{list: list, refs: map[int64]bool{task: true}}
+	c.entries[v] = e
+	c.taskDeps[task] = append(c.taskDeps[task], v)
+	c.size += 16 + 4*uint64(len(list))
+	if c.size > c.capacity {
+		c.gcLocked()
+	}
+}
+
+// releaseTask drops all of a completed task's references and garbage
+// collects if over capacity.
+func (c *swCache) releaseTask(task int64, met *metrics.Node) {
+	t0 := time.Now()
+	defer func() { met.AddCache(time.Since(t0)) }()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.taskDeps[task] {
+		if e, ok := c.entries[v]; ok {
+			delete(e.refs, task)
+		}
+	}
+	delete(c.taskDeps, task)
+	if c.size > c.capacity {
+		c.gcLocked()
+	}
+}
+
+// gcLocked scans for unreferenced entries and evicts until under capacity —
+// the cache's periodic "are all tasks accessing this edge list completed?"
+// check.
+func (c *swCache) gcLocked() {
+	for v, e := range c.entries {
+		if c.size <= c.capacity {
+			return
+		}
+		if len(e.refs) == 0 {
+			c.size -= 16 + 4*uint64(len(e.list))
+			delete(c.entries, v)
+		}
+	}
+}
+
+// lenEntries returns the number of cached lists (tests only).
+func (c *swCache) lenEntries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,174 @@
+// Package harness contains the experiment infrastructure that regenerates
+// every table and figure of the paper's evaluation (§7): scaled-down
+// synthetic stand-ins for the paper's datasets, an experiment registry, and
+// plain-text table rendering. Absolute runtimes differ from the paper's
+// testbed by construction; the experiments preserve the comparisons' shape —
+// who wins, by what rough factor, where crossovers appear.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"khuzdul/internal/graph"
+)
+
+// Dataset is a named synthetic stand-in for one of the paper's graphs
+// (Table 1). The generators preserve the original's distinguishing trait at
+// laptop scale: Patents is notably less skewed than the web/social graphs,
+// UK/Twitter are extremely skewed, Friendster is big but mildly skewed,
+// MiCo is small and labeled.
+type Dataset struct {
+	// Abbr is the paper's abbreviation (mc, pt, lj, …).
+	Abbr string
+	// PaperName is the dataset the preset stands in for.
+	PaperName string
+	// Labeled marks datasets generated with vertex labels (FSM inputs).
+	Labeled bool
+	// gen produces the graph at a given scale factor (1.0 = preset size).
+	gen func(scale float64) *graph.Graph
+}
+
+// Generate builds the dataset at the given scale (1.0 for the preset size).
+func (d Dataset) Generate(scale float64) *graph.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	return d.gen(scale)
+}
+
+func sz(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+func szE(base uint64, scale float64) uint64 {
+	m := uint64(float64(base) * scale)
+	if m < 32 {
+		m = 32
+	}
+	return m
+}
+
+// rmatSkew generates an R-MAT graph with a chosen skew parameter a
+// (0.57 = conventional, higher = heavier tail).
+func rmatSkew(n int, m uint64, a float64, seed int64) *graph.Graph {
+	rest := (1 - a) / 3
+	return graph.RMAT(n, m, a, rest, rest, seed)
+}
+
+// datasets is the preset registry, keyed by abbreviation.
+var datasets = map[string]Dataset{
+	"mc": {
+		Abbr: "mc", PaperName: "MiCo", Labeled: true,
+		gen: func(s float64) *graph.Graph {
+			n := sz(3000, s)
+			g := rmatSkew(n, szE(33000, s), 0.55, 1001)
+			lg, err := g.WithLabels(graph.RandomLabels(g.NumVertices(), 5, 1002))
+			if err != nil {
+				panic(err)
+			}
+			return lg
+		},
+	},
+	"pt": {
+		Abbr: "pt", PaperName: "Patents", Labeled: true,
+		gen: func(s float64) *graph.Graph {
+			// Patents is the paper's less-skewed graph (max degree 0.8K on
+			// 3.8M vertices): a mild R-MAT keeps some clustering so clique
+			// workloads are non-degenerate while staying far less skewed
+			// than lj/uk/tw.
+			n := sz(12000, s)
+			g := rmatSkew(n, szE(60000, s), 0.42, 1003)
+			lg, err := g.WithLabels(graph.RandomLabels(g.NumVertices(), 6, 1004))
+			if err != nil {
+				panic(err)
+			}
+			return lg
+		},
+	},
+	"lj": {
+		Abbr: "lj", PaperName: "LiveJournal", Labeled: true,
+		gen: func(s float64) *graph.Graph {
+			n := sz(12000, s)
+			g := rmatSkew(n, szE(108000, s), 0.57, 1005)
+			lg, err := g.WithLabels(graph.RandomLabels(g.NumVertices(), 8, 1006))
+			if err != nil {
+				panic(err)
+			}
+			return lg
+		},
+	},
+	"uk": {
+		Abbr: "uk", PaperName: "UK-2005",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(30000, s), szE(700000, s), 0.65, 1007)
+		},
+	},
+	"tw": {
+		Abbr: "tw", PaperName: "Twitter-2010",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(30000, s), szE(1100000, s), 0.62, 1008)
+		},
+	},
+	"fr": {
+		Abbr: "fr", PaperName: "Friendster",
+		gen: func(s float64) *graph.Graph {
+			// Friendster: large but mildly skewed (max degree 5.2K on 65.6M
+			// vertices in the paper).
+			return rmatSkew(sz(40000, s), szE(1100000, s), 0.45, 1009)
+		},
+	},
+	"sk": {
+		Abbr: "sk", PaperName: "Skitter",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(15000, s), szE(150000, s), 0.57, 1010)
+		},
+	},
+	"ok": {
+		Abbr: "ok", PaperName: "Orkut",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(25000, s), szE(800000, s), 0.5, 1011)
+		},
+	},
+	"cl": {
+		Abbr: "cl", PaperName: "Clueweb12",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(120000, s), szE(3000000, s), 0.62, 1012)
+		},
+	},
+	"uk14": {
+		Abbr: "uk14", PaperName: "UK-2014",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(100000, s), szE(3300000, s), 0.6, 1013)
+		},
+	},
+	"wdc": {
+		Abbr: "wdc", PaperName: "WDC12",
+		gen: func(s float64) *graph.Graph {
+			return rmatSkew(sz(250000, s), szE(6000000, s), 0.62, 1014)
+		},
+	},
+}
+
+// GetDataset returns the preset with the given abbreviation.
+func GetDataset(abbr string) (Dataset, error) {
+	d, ok := datasets[abbr]
+	if !ok {
+		return Dataset{}, fmt.Errorf("harness: unknown dataset %q (have %v)", abbr, DatasetNames())
+	}
+	return d, nil
+}
+
+// DatasetNames lists the registered preset abbreviations, sorted.
+func DatasetNames() []string {
+	names := make([]string, 0, len(datasets))
+	for k := range datasets {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,572 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"khuzdul/internal/adfs"
+	"khuzdul/internal/apps"
+	"khuzdul/internal/cache"
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/gthinker"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/replicated"
+	"khuzdul/internal/single"
+)
+
+func init() {
+	register(Experiment{ID: "fig10", Title: "Comparison with aDFS (TC)", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Speedup from vertical computation sharing", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "Effect of horizontal data sharing", Run: runFig12})
+	register(Experiment{ID: "fig13", Title: "Inter-node scalability (lj)", Run: runFig13})
+	register(Experiment{ID: "fig14", Title: "Intra-node scalability and COST", Run: runFig14})
+	register(Experiment{ID: "fig15", Title: "Runtime breakdown: G-thinker vs k-Automine", Run: runFig15})
+	register(Experiment{ID: "fig16", Title: "Cache replacement policies", Run: runFig16})
+	register(Experiment{ID: "fig17", Title: "Varying cache size", Run: runFig17})
+	register(Experiment{ID: "fig18", Title: "Varying chunk size", Run: runFig18})
+	register(Experiment{ID: "fig19", Title: "Network bandwidth utilization", Run: runFig19})
+}
+
+// runFig10 reproduces Figure 10: TC against the moving-computation-to-data
+// baseline.
+func runFig10(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig10",
+		Title:  "TC vs aDFS-style baseline",
+		Header: []string{"G.", "aDFS", "k-Automine", "k-GraphPi", "aDFS traffic", "Khuzdul traffic"},
+	}
+	graphs := []string{"sk", "ok"}
+	if !o.Quick {
+		graphs = append(graphs, "fr")
+	}
+	for _, abbr := range graphs {
+		d, err := GetDataset(abbr)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Generate(o.Scale)
+		ra, err := adfs.Count(g, pattern.Triangle(), adfs.Config{NumNodes: o.Nodes, ThreadsPerNode: o.Threads})
+		if err != nil {
+			return nil, err
+		}
+		c, err := defaultCluster(g, o.Nodes, o.Threads)
+		if err != nil {
+			return nil, err
+		}
+		rka, err := apps.TriangleCount(c, apps.KAutomine)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		rkg, err := apps.TriangleCount(c, apps.KGraphPi)
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		if ra.Count != rka.Count || ra.Count != rkg.Count {
+			return nil, fmt.Errorf("fig10 %s: count mismatch adfs=%d kA=%d kGP=%d",
+				abbr, ra.Count, rka.Count, rkg.Count)
+		}
+		t.AddRow(abbr, elapsedStr(ra.Elapsed), elapsedStr(rka.Elapsed), elapsedStr(rkg.Elapsed),
+			FmtBytes(ra.Summary.BytesSent), FmtBytes(rka.Summary.BytesSent))
+	}
+	t.AddNote("paper: Khuzdul systems beat aDFS by up to an order of magnitude with fewer cores; carried edge lists inflate aDFS traffic")
+	return t, nil
+}
+
+// runFig11 reproduces Figure 11: the VCS ablation.
+func runFig11(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig11",
+		Title:  "vertical computation sharing speedup (k-GraphPi)",
+		Header: []string{"App", "G.", "VCS on", "VCS off", "speedup"},
+	}
+	graphs := []string{"mc", "pt", "lj"}
+	appsList := []appSpec{app4CC}
+	if !o.Quick {
+		graphs = append(graphs, "fr")
+		appsList = append(appsList, app5CC)
+	}
+	for _, a := range appsList {
+		for _, abbr := range graphs {
+			d, err := GetDataset(abbr)
+			if err != nil {
+				return nil, err
+			}
+			g := d.Generate(o.Scale)
+			c, err := defaultCluster(g, o.Nodes, o.Threads)
+			if err != nil {
+				return nil, err
+			}
+			on, off, err := runVCSPair(c, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(a.name, abbr, elapsedStr(on.Elapsed), elapsedStr(off.Elapsed),
+				FmtSpeedup(off.Elapsed, on.Elapsed))
+		}
+	}
+	t.AddNote("paper: 2.10x average (up to 4.44x); weakest on pt where extensions are already cheap")
+	return t, nil
+}
+
+func runVCSPair(c *cluster.Cluster, a appSpec) (on, off cluster.Result, err error) {
+	plOn, err := apps.Compile(apps.KGraphPi, a.pattern(), c.Graph(), apps.CompileOptions{})
+	if err != nil {
+		return on, off, err
+	}
+	plOff, err := apps.Compile(apps.KGraphPi, a.pattern(), c.Graph(), apps.CompileOptions{DisableVCS: true})
+	if err != nil {
+		return on, off, err
+	}
+	if on, err = c.Count(plOn); err != nil {
+		return on, off, err
+	}
+	if off, err = c.Count(plOff); err != nil {
+		return on, off, err
+	}
+	if on.Count != off.Count {
+		return on, off, fmt.Errorf("VCS changed count: %d vs %d", on.Count, off.Count)
+	}
+	return on, off, nil
+}
+
+// runFig12 reproduces Figure 12: the HDS ablation (normalized traffic and
+// communication time).
+func runFig12(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig12",
+		Title:  "horizontal data sharing (normalized to HDS off)",
+		Header: []string{"App", "G.", "norm traffic", "norm comm time", "traffic on/off"},
+	}
+	graphs := []string{"mc", "pt", "lj"}
+	appsList := []appSpec{app4CC}
+	if !o.Quick {
+		graphs = append(graphs, "fr")
+		appsList = append(appsList, app5CC)
+	}
+	for _, a := range appsList {
+		for _, abbr := range graphs {
+			d, err := GetDataset(abbr)
+			if err != nil {
+				return nil, err
+			}
+			g := d.Generate(o.Scale)
+			mk := func(disableHDS bool) (cluster.Result, error) {
+				c, err := cluster.New(g, cluster.Config{
+					NumNodes: o.Nodes, ThreadsPerSocket: o.Threads, DisableHDS: disableHDS,
+					SequentialNodes: true,
+				})
+				if err != nil {
+					return cluster.Result{}, err
+				}
+				defer c.Close()
+				return runOnCluster(c, apps.KGraphPi, a)
+			}
+			on, err := mk(false)
+			if err != nil {
+				return nil, err
+			}
+			off, err := mk(true)
+			if err != nil {
+				return nil, err
+			}
+			if on.Count != off.Count {
+				return nil, fmt.Errorf("fig12 %s/%s: HDS changed count", a.name, abbr)
+			}
+			normT := ratio(on.Summary.BytesSent, off.Summary.BytesSent)
+			normC := ratio(uint64(on.Summary.Breakdown.Network), uint64(off.Summary.Breakdown.Network))
+			t.AddRow(a.name, abbr,
+				fmt.Sprintf("%.3f", normT), fmt.Sprintf("%.3f", normC),
+				fmt.Sprintf("%s/%s", FmtBytes(on.Summary.BytesSent), FmtBytes(off.Summary.BytesSent)))
+		}
+	}
+	t.AddNote("paper: HDS cuts traffic 70.5%% and critical-path communication 67.8%% on average; weakest on less-skewed pt")
+	return t, nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return float64(a) / float64(b)
+}
+
+// runFig13 reproduces Figure 13: inter-node scalability on lj.
+func runFig13(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig13",
+		Title:  "inter-node scalability on lj (runtime per node count)",
+		Header: []string{"App", "System", "1", "2", "4", "8", "8-node speedup"},
+	}
+	d, err := GetDataset("lj")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Generate(o.Scale)
+	appsList := []appSpec{appTC, app3MC, app4CC}
+	if !o.Quick {
+		appsList = append(appsList, app5CC)
+	}
+	nodeCounts := []int{1, 2, 4, 8}
+	for _, a := range appsList {
+		var kgTimes, replTimes []time.Duration
+		for _, nn := range nodeCounts {
+			c, err := defaultCluster(g, nn, o.Threads)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOnCluster(c, apps.KGraphPi, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			kgTimes = append(kgTimes, r.ModeledElapsed)
+			var rr replicated.Result
+			if a.kind == "mc" {
+				rr, err = replicated.CountMotifs(g, a.k, replicated.Config{NumNodes: nn, ThreadsPerNode: o.Threads})
+			} else {
+				rr, err = replicated.Count(g, a.pattern(), replicated.Config{NumNodes: nn, ThreadsPerNode: o.Threads})
+			}
+			if err != nil {
+				return nil, err
+			}
+			replTimes = append(replTimes, rr.ModeledElapsed)
+		}
+		t.AddRow(a.name, "k-GraphPi",
+			elapsedStr(kgTimes[0]), elapsedStr(kgTimes[1]), elapsedStr(kgTimes[2]), elapsedStr(kgTimes[3]),
+			FmtSpeedup(kgTimes[0], kgTimes[3]))
+		t.AddRow(a.name, "GraphPi(repl)",
+			elapsedStr(replTimes[0]), elapsedStr(replTimes[1]), elapsedStr(replTimes[2]), elapsedStr(replTimes[3]),
+			FmtSpeedup(replTimes[0], replTimes[3]))
+	}
+	t.AddNote("paper: k-GraphPi reaches 6.77x average on 8 nodes vs GraphPi's 4.04x (coarse static partitioning limits the latter)")
+	t.AddNote("modeled makespans (single-core host); GraphPi's static blocks expose hub imbalance, Khuzdul's dynamic mini-batches do not")
+	return t, nil
+}
+
+// runFig14 reproduces Figure 14: intra-node scalability plus the COST
+// metric (cores needed to beat the best single-thread implementation).
+func runFig14(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig14",
+		Title:  "intra-node scalability on lj + COST",
+		Header: []string{"App", "1", "2", "4", "8", "16", "best 1-thread ref", "COST(cores)"},
+	}
+	d, err := GetDataset("lj")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Generate(o.Scale)
+	appsList := []appSpec{appTC, app3MC}
+	if !o.Quick {
+		appsList = append(appsList, app4CC)
+	}
+	cores := []int{1, 2, 4, 8, 16}
+	for _, a := range appsList {
+		var times []time.Duration
+		for _, nc := range cores {
+			c, err := defaultCluster(g, 1, nc)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOnCluster(c, apps.KAutomine, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, r.ModeledElapsed)
+		}
+		// Reference: fastest single-thread run among the single-machine
+		// systems (the McSherry COST baseline).
+		ref := time.Duration(1<<62 - 1)
+		for _, sys := range []*single.Engine{single.AutomineIH(), single.PeregrineLike(), single.PangolinLike()} {
+			var res single.Result
+			var err error
+			if a.kind == "mc" {
+				_, res, err = sys.CountMotifs(g, a.k, 1)
+			} else {
+				res, err = sys.CountPattern(g, a.pattern(), false, 1)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if res.ModeledElapsed < ref {
+				ref = res.ModeledElapsed
+			}
+		}
+		cost := "-"
+		for i, nc := range cores {
+			if times[i] <= ref {
+				cost = fmt.Sprintf("%d", nc)
+				break
+			}
+		}
+		t.AddRow(a.name,
+			elapsedStr(times[0]), elapsedStr(times[1]), elapsedStr(times[2]),
+			elapsedStr(times[3]), elapsedStr(times[4]), elapsedStr(ref), cost)
+	}
+	t.AddNote("paper: 10.7-11.6x speedup at 16 cores; COST of 6-8 cores")
+	t.AddNote("modeled makespans; serial per-chunk scheduling bounds the speedup (Amdahl), like the paper's reserved communication cores")
+	return t, nil
+}
+
+// runFig15 reproduces Figure 15: the runtime breakdown comparison.
+func runFig15(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig15",
+		Title:  "runtime breakdown (percent of measured category time)",
+		Header: []string{"System", "App", "G.", "compute%", "network%", "scheduler%", "cache%"},
+	}
+	graphs := []string{"mc", "pt", "lj"}
+	appsList := []appSpec{appTC, app4CC}
+	if !o.Quick {
+		appsList = []appSpec{appTC, app3MC, app4CC, app5CC}
+	}
+	for _, a := range appsList {
+		for _, abbr := range graphs {
+			d, err := GetDataset(abbr)
+			if err != nil {
+				return nil, err
+			}
+			g := d.Generate(o.Scale)
+			gth, err := runGThinker(g, a, gthinkerCfg(o, g.SizeBytes()))
+			if err != nil {
+				return nil, err
+			}
+			cp, np, sp, ca := gth.Summary.Breakdown.Percentages()
+			t.AddRow("G-thinker", a.name, abbr, pct(cp), pct(np), pct(sp), pct(ca))
+
+			c, err := defaultCluster(g, o.Nodes, o.Threads)
+			if err != nil {
+				return nil, err
+			}
+			rka, err := runOnCluster(c, apps.KAutomine, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			cp, np, sp, ca = rka.Summary.Breakdown.Percentages()
+			t.AddRow("k-Automine", a.name, abbr, pct(cp), pct(np), pct(sp), pct(ca))
+		}
+	}
+	t.AddNote("paper: G-thinker spends 41%%/45%% in cache/scheduler; k-Automine raises compute to 59%% average")
+	return t, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func gthinkerCfg(o Options, graphBytes uint64) gthinker.Config {
+	return gthinker.Config{
+		NumNodes:       o.Nodes,
+		ThreadsPerNode: o.Threads,
+		CacheBytes:     graphBytes / 8,
+		Sequential:     true,
+	}
+}
+
+// runFig16 reproduces Figure 16: cache replacement policy comparison.
+func runFig16(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig16",
+		Title:  "cache policies (k-GraphPi, normalized to STATIC)",
+		Header: []string{"Workload", "Policy", "norm traffic", "norm runtime"},
+	}
+	type combo struct {
+		a    appSpec
+		abbr string
+	}
+	combos := []combo{{appTC, "lj"}, {app4CC, "lj"}}
+	if !o.Quick {
+		combos = append(combos, combo{app3MC, "lj"}, combo{app5CC, "lj"},
+			combo{appTC, "fr"}, combo{app4CC, "fr"})
+	}
+	policies := []cache.Policy{cache.Static, cache.FIFO, cache.LIFO, cache.LRU, cache.MRU}
+	for _, cb := range combos {
+		d, err := GetDataset(cb.abbr)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Generate(o.Scale)
+		var base cluster.Result
+		results := make([]cluster.Result, len(policies))
+		for i, pol := range policies {
+			c, err := cluster.New(g, cluster.Config{
+				NumNodes: o.Nodes, ThreadsPerSocket: o.Threads, ChunkSize: experimentChunkSize,
+				CacheFraction: 0.10, CachePolicy: pol, CacheDegreeThreshold: 8,
+				SequentialNodes: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			results[i], err = runOnCluster(c, apps.KGraphPi, cb.a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			if pol == cache.Static {
+				base = results[i]
+			}
+		}
+		for i, pol := range policies {
+			r := results[i]
+			if r.Count != base.Count {
+				return nil, fmt.Errorf("fig16 %s-%s: policy %v changed count", cb.abbr, cb.a.name, pol)
+			}
+			t.AddRow(fmt.Sprintf("%s-%s", cb.abbr, cb.a.name), pol.String(),
+				fmt.Sprintf("%.3f", ratio(r.Summary.BytesSent, base.Summary.BytesSent)),
+				fmt.Sprintf("%.3f", float64(r.Elapsed)/float64(base.Elapsed)))
+		}
+	}
+	t.AddNote("paper: STATIC sometimes loses a little traffic to FIFO/LRU yet wins runtime by ~10x — replacement bookkeeping dominates")
+	return t, nil
+}
+
+// runFig17 reproduces Figure 17: the cache size sweep.
+func runFig17(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig17",
+		Title:  "cache size sweep (k-GraphPi, normalized to 1% cache)",
+		Header: []string{"Workload", "cache/graph", "norm traffic", "hit rate%", "norm runtime"},
+	}
+	type combo struct {
+		a    appSpec
+		abbr string
+	}
+	combos := []combo{{appTC, "lj"}}
+	if !o.Quick {
+		combos = append(combos, combo{app4CC, "lj"}, combo{appTC, "uk"}, combo{app4CC, "fr"})
+	}
+	fracs := []float64{0.01, 0.05, 0.10, 0.20, 0.30, 0.50}
+	for _, cb := range combos {
+		d, err := GetDataset(cb.abbr)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Generate(o.Scale)
+		var baseT uint64
+		var baseR time.Duration
+		for i, f := range fracs {
+			c, err := cluster.New(g, cluster.Config{
+				NumNodes: o.Nodes, ThreadsPerSocket: o.Threads, ChunkSize: experimentChunkSize,
+				CacheFraction: f, CacheDegreeThreshold: 8,
+				SequentialNodes: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOnCluster(c, apps.KGraphPi, cb.a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				baseT, baseR = r.Summary.BytesSent, r.Elapsed
+			}
+			t.AddRow(fmt.Sprintf("%s-%s", cb.abbr, cb.a.name),
+				fmt.Sprintf("%.0f%%", 100*f),
+				fmt.Sprintf("%.3f", ratio(r.Summary.BytesSent, baseT)),
+				fmt.Sprintf("%.1f", 100*r.Summary.CacheHitRate()),
+				fmt.Sprintf("%.3f", float64(r.Elapsed)/float64(baseR)))
+		}
+	}
+	t.AddNote("paper: traffic falls and hit rate rises with size, runtime flattens past the point where communication is hidden")
+	return t, nil
+}
+
+// runFig18 reproduces Figure 18: the chunk size sweep.
+func runFig18(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig18",
+		Title:  "chunk size sweep on lj (k-GraphPi, chunk capacity in embeddings)",
+		Header: []string{"App", "2^6", "2^8", "2^10", "2^12", "2^14", "2^16"},
+	}
+	d, err := GetDataset("lj")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Generate(o.Scale)
+	appsList := []appSpec{appTC, app4CC}
+	if !o.Quick {
+		appsList = []appSpec{appTC, app3MC, app4CC, app5CC}
+	}
+	sizes := []int{1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	for _, a := range appsList {
+		row := []string{a.name}
+		var want uint64
+		for i, cs := range sizes {
+			c, err := cluster.New(g, cluster.Config{
+				NumNodes: o.Nodes, ThreadsPerSocket: o.Threads, ChunkSize: cs,
+				CacheFraction: 0.1, CacheDegreeThreshold: 8,
+				SequentialNodes: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOnCluster(c, apps.KGraphPi, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				want = r.Count
+			} else if r.Count != want {
+				return nil, fmt.Errorf("fig18 %s: chunk size changed count", a.name)
+			}
+			row = append(row, elapsedStr(r.Elapsed))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: larger chunks help (more parallelism, more in-chunk reuse) until memory pressure; the trend should fall left to right")
+	return t, nil
+}
+
+// runFig19 reproduces Figure 19: network bandwidth utilization.
+func runFig19(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig19",
+		Title:  "network utilization (k-GraphPi, reference bandwidth 1 GB/s aggregate)",
+		Header: []string{"App", "G.", "traffic", "runtime", "utilization%"},
+	}
+	const refBandwidth = 1 << 30 // 1 GB/s reference aggregate fabric bandwidth
+	graphs := []string{"mc", "pt", "lj"}
+	appsList := []appSpec{appTC, app4CC}
+	if !o.Quick {
+		graphs = append(graphs, "fr")
+		appsList = []appSpec{appTC, app3MC, app4CC, app5CC}
+	}
+	for _, a := range appsList {
+		for _, abbr := range graphs {
+			d, err := GetDataset(abbr)
+			if err != nil {
+				return nil, err
+			}
+			g := d.Generate(o.Scale)
+			c, err := defaultCluster(g, o.Nodes, o.Threads)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOnCluster(c, apps.KGraphPi, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			util := 100 * r.Summary.NetworkUtilization(refBandwidth, r.Elapsed)
+			t.AddRow(a.name, abbr, FmtBytes(r.Summary.BytesSent), elapsedStr(r.Elapsed),
+				fmt.Sprintf("%.1f", util))
+		}
+	}
+	t.AddNote("paper: mostly compute-bound, network under 50%% utilized; pt is the outlier with poor request locality")
+	return t, nil
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"khuzdul/internal/apps"
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/gthinker"
+	"khuzdul/internal/pattern"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies dataset preset sizes (1.0 = preset).
+	Scale float64
+	// Nodes is the simulated machine count (paper default: 8).
+	Nodes int
+	// Threads is the compute worker count per machine.
+	Threads int
+	// Quick trims the heaviest rows, for CI-speed runs and benchmarks.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 8
+	}
+	if o.Threads <= 0 {
+		o.Threads = 2
+	}
+	return o
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the paper's table/figure identifier ("table2" … "fig19").
+	ID string
+	// Title summarizes the experiment.
+	Title string
+	// Run executes the experiment and renders its table.
+	Run func(o Options) (*Table, error)
+}
+
+// registry holds all experiments, populated by init functions across the
+// exp_*.go files.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID (tables first,
+// then figures, numerically).
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return expKey(out[i].ID) < expKey(out[j].ID) })
+	return out
+}
+
+// expKey orders "table2" < "table7" < "fig10" < "fig19".
+func expKey(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+		return n
+	}
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return 100 + n
+	}
+	return 1000
+}
+
+// GetExperiment returns the experiment with the given ID.
+func GetExperiment(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// appSpec names one of the paper's application workloads.
+type appSpec struct {
+	name string
+	kind string // "tc", "cc", "mc"
+	k    int
+}
+
+var (
+	appTC  = appSpec{name: "TC", kind: "tc"}
+	app3MC = appSpec{name: "3-MC", kind: "mc", k: 3}
+	app4CC = appSpec{name: "4-CC", kind: "cc", k: 4}
+	app5CC = appSpec{name: "5-CC", kind: "cc", k: 5}
+)
+
+// runOnCluster executes one application with one client system on a cluster.
+func runOnCluster(c *cluster.Cluster, sys apps.System, a appSpec) (cluster.Result, error) {
+	switch a.kind {
+	case "tc":
+		return apps.TriangleCount(c, sys)
+	case "cc":
+		return apps.CliqueCount(c, a.k, sys)
+	case "mc":
+		_, combined, err := apps.MotifCount(c, a.k, sys)
+		return combined, err
+	default:
+		return cluster.Result{}, fmt.Errorf("harness: unknown app kind %q", a.kind)
+	}
+}
+
+// runGThinker executes one application on the G-thinker baseline.
+func runGThinker(g *graph.Graph, a appSpec, cfg gthinker.Config) (gthinker.Result, error) {
+	switch a.kind {
+	case "tc":
+		return gthinker.Count(g, pattern.Triangle(), cfg)
+	case "cc":
+		return gthinker.Count(g, pattern.Clique(a.k), cfg)
+	case "mc":
+		cfg.Induced = true
+		var total gthinker.Result
+		for _, pat := range pattern.ConnectedPatterns(a.k) {
+			r, err := gthinker.Count(g, pat, cfg)
+			if err != nil {
+				return gthinker.Result{}, err
+			}
+			total.Count += r.Count
+			total.Elapsed += r.Elapsed
+			total.ModeledElapsed += r.ModeledElapsed
+			total.Summary.BytesSent += r.Summary.BytesSent
+			total.Summary.Breakdown.Compute += r.Summary.Breakdown.Compute
+			total.Summary.Breakdown.Network += r.Summary.Breakdown.Network
+			total.Summary.Breakdown.Scheduler += r.Summary.Breakdown.Scheduler
+			total.Summary.Breakdown.Cache += r.Summary.Breakdown.Cache
+		}
+		return total, nil
+	default:
+		return gthinker.Result{}, fmt.Errorf("harness: unknown app kind %q", a.kind)
+	}
+}
+
+// patternFor returns the single pattern of tc/cc specs.
+func (a appSpec) pattern() *pattern.Pattern {
+	switch a.kind {
+	case "tc":
+		return pattern.Triangle()
+	case "cc":
+		return pattern.Clique(a.k)
+	default:
+		panic("harness: appSpec.pattern on multi-pattern app")
+	}
+}
+
+// defaultCluster builds a cluster with the experiment-wide defaults: static
+// cache at 10% of graph size with a scaled-down admission threshold (the
+// paper's threshold of 64 assumes real-graph degrees), HDS on.
+func defaultCluster(g *graph.Graph, nodes, threads int) (*cluster.Cluster, error) {
+	return cluster.New(g, cluster.Config{
+		NumNodes:             nodes,
+		ThreadsPerSocket:     threads,
+		ChunkSize:            experimentChunkSize,
+		CacheFraction:        0.10,
+		CacheDegreeThreshold: 8,
+		SequentialNodes:      true,
+	})
+}
+
+// experimentChunkSize keeps the chunk:graph ratio at preset scale close to
+// the paper's (4GB chunks against hundreds-of-GB graphs): small enough that
+// every level spans many chunk generations, so the static cache sees repeat
+// accesses across chunks.
+const experimentChunkSize = 2048
+
+// elapsedStr formats a runtime column.
+func elapsedStr(d time.Duration) string { return FmtDur(d) }

@@ -1,0 +1,212 @@
+// Package metrics collects the counters and time breakdowns that the paper's
+// evaluation reports: network traffic in bytes, message and fetch counts,
+// cache hit rates, and per-category runtime (compute / network / scheduler /
+// cache) used for the Figure 15 breakdown and the Figure 19 utilization
+// analysis. All counters are atomic so engine worker threads update them
+// without coordination.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Node aggregates the counters of one machine.
+type Node struct {
+	BytesSent          atomic.Uint64 // payload bytes this node sent (requests + responses)
+	BytesReceived      atomic.Uint64
+	Messages           atomic.Uint64 // network messages sent
+	Fetches            atomic.Uint64 // edge-list fetch attempts (local + remote)
+	RemoteFetches      atomic.Uint64 // fetches that went over the network
+	CacheHits          atomic.Uint64
+	CacheMisses        atomic.Uint64
+	HDSHits            atomic.Uint64 // horizontal-data-sharing hits within a chunk
+	VerticalHits       atomic.Uint64 // active lists resolved through parent pointers
+	Extensions         atomic.Uint64 // embedding extensions performed
+	Matches            atomic.Uint64 // full pattern embeddings found
+	CrossSocketFetches atomic.Uint64 // NUMA: lists served from another socket
+	CrossSocketBytes   atomic.Uint64 // NUMA: modeled cross-socket traffic
+	// PeakEmbeddings is the high-water mark of simultaneously allocated
+	// extendable embeddings across this machine's live chunks — the
+	// quantity the paper's §4.2 bounded-memory argument is about.
+	PeakEmbeddings atomic.Uint64
+
+	computeNS   atomic.Int64
+	networkNS   atomic.Int64
+	schedulerNS atomic.Int64
+	cacheNS     atomic.Int64
+}
+
+// AddCompute accrues embedding-extension time.
+func (n *Node) AddCompute(d time.Duration) { n.computeNS.Add(int64(d)) }
+
+// AddNetwork accrues time spent waiting on or serving communication.
+func (n *Node) AddNetwork(d time.Duration) { n.networkNS.Add(int64(d)) }
+
+// AddScheduler accrues chunk/task scheduling and bookkeeping time.
+func (n *Node) AddScheduler(d time.Duration) { n.schedulerNS.Add(int64(d)) }
+
+// AddCache accrues software-cache maintenance time.
+func (n *Node) AddCache(d time.Duration) { n.cacheNS.Add(int64(d)) }
+
+// Reset zeroes every counter. Callers must ensure no concurrent updates.
+func (n *Node) Reset() {
+	n.BytesSent.Store(0)
+	n.BytesReceived.Store(0)
+	n.Messages.Store(0)
+	n.Fetches.Store(0)
+	n.RemoteFetches.Store(0)
+	n.CacheHits.Store(0)
+	n.CacheMisses.Store(0)
+	n.HDSHits.Store(0)
+	n.VerticalHits.Store(0)
+	n.Extensions.Store(0)
+	n.Matches.Store(0)
+	n.CrossSocketFetches.Store(0)
+	n.CrossSocketBytes.Store(0)
+	n.PeakEmbeddings.Store(0)
+	n.computeNS.Store(0)
+	n.networkNS.Store(0)
+	n.schedulerNS.Store(0)
+	n.cacheNS.Store(0)
+}
+
+// RecordPeakEmbeddings raises the live-embedding high-water mark to cur if
+// it exceeds the stored peak. Callers update it single-threadedly per
+// engine, but the max loop stays safe under concurrency.
+func (n *Node) RecordPeakEmbeddings(cur uint64) {
+	for {
+		old := n.PeakEmbeddings.Load()
+		if cur <= old || n.PeakEmbeddings.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// Breakdown is a runtime split by category, as in the paper's Figure 15.
+type Breakdown struct {
+	Compute   time.Duration
+	Network   time.Duration
+	Scheduler time.Duration
+	Cache     time.Duration
+}
+
+// Breakdown returns the node's accumulated time split.
+func (n *Node) Breakdown() Breakdown {
+	return Breakdown{
+		Compute:   time.Duration(n.computeNS.Load()),
+		Network:   time.Duration(n.networkNS.Load()),
+		Scheduler: time.Duration(n.schedulerNS.Load()),
+		Cache:     time.Duration(n.cacheNS.Load()),
+	}
+}
+
+// Total returns the sum of all categories.
+func (b Breakdown) Total() time.Duration {
+	return b.Compute + b.Network + b.Scheduler + b.Cache
+}
+
+// Percentages renders the split as percentages of the total.
+func (b Breakdown) Percentages() (compute, network, scheduler, cache float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	f := func(d time.Duration) float64 { return 100 * float64(d) / float64(t) }
+	return f(b.Compute), f(b.Network), f(b.Scheduler), f(b.Cache)
+}
+
+// String formats the breakdown as percentages.
+func (b Breakdown) String() string {
+	c, n, s, ca := b.Percentages()
+	return fmt.Sprintf("compute=%.1f%% network=%.1f%% scheduler=%.1f%% cache=%.1f%%", c, n, s, ca)
+}
+
+// Cluster aggregates per-node metrics.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// NewCluster returns metrics storage for n nodes.
+func NewCluster(n int) *Cluster {
+	c := &Cluster{Nodes: make([]*Node, n)}
+	for i := range c.Nodes {
+		c.Nodes[i] = &Node{}
+	}
+	return c
+}
+
+// Reset zeroes all node counters (between experiment runs).
+func (c *Cluster) Reset() {
+	for _, n := range c.Nodes {
+		n.Reset()
+	}
+}
+
+// Summary holds cluster-wide totals.
+type Summary struct {
+	BytesSent          uint64
+	Messages           uint64
+	Fetches            uint64
+	RemoteFetches      uint64
+	CacheHits          uint64
+	CacheMisses        uint64
+	HDSHits            uint64
+	VerticalHits       uint64
+	Extensions         uint64
+	Matches            uint64
+	CrossSocketFetches uint64
+	CrossSocketBytes   uint64
+	// PeakEmbeddings is the maximum over machines of the per-machine
+	// live-embedding high-water mark.
+	PeakEmbeddings uint64
+	Breakdown      Breakdown
+}
+
+// Summarize sums all node counters.
+func (c *Cluster) Summarize() Summary {
+	var s Summary
+	for _, n := range c.Nodes {
+		s.BytesSent += n.BytesSent.Load()
+		s.Messages += n.Messages.Load()
+		s.Fetches += n.Fetches.Load()
+		s.RemoteFetches += n.RemoteFetches.Load()
+		s.CacheHits += n.CacheHits.Load()
+		s.CacheMisses += n.CacheMisses.Load()
+		s.HDSHits += n.HDSHits.Load()
+		s.VerticalHits += n.VerticalHits.Load()
+		s.Extensions += n.Extensions.Load()
+		s.Matches += n.Matches.Load()
+		s.CrossSocketFetches += n.CrossSocketFetches.Load()
+		s.CrossSocketBytes += n.CrossSocketBytes.Load()
+		if p := n.PeakEmbeddings.Load(); p > s.PeakEmbeddings {
+			s.PeakEmbeddings = p
+		}
+		b := n.Breakdown()
+		s.Breakdown.Compute += b.Compute
+		s.Breakdown.Network += b.Network
+		s.Breakdown.Scheduler += b.Scheduler
+		s.Breakdown.Cache += b.Cache
+	}
+	return s
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 with no accesses.
+func (s Summary) CacheHitRate() float64 {
+	t := s.CacheHits + s.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(t)
+}
+
+// NetworkUtilization returns the fraction of the given aggregate bandwidth
+// that the measured traffic consumed over the elapsed wall time, as in the
+// paper's Figure 19.
+func (s Summary) NetworkUtilization(bandwidthBytesPerSec float64, elapsed time.Duration) float64 {
+	if elapsed <= 0 || bandwidthBytesPerSec <= 0 {
+		return 0
+	}
+	return float64(s.BytesSent) / (bandwidthBytesPerSec * elapsed.Seconds())
+}

@@ -1,0 +1,168 @@
+package oblivious
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func TestMotifCountsMatchBruteForce(t *testing.T) {
+	g := graph.RMATDefault(80, 400, 211)
+	for _, k := range []int{2, 3, 4} {
+		pats, res, err := CountMotifs(g, k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pat := range pats {
+			want := plan.BruteForceCount(g, pat, true)
+			if res.Counts[i] != want {
+				t.Errorf("k=%d pattern %v: %d, want %d", k, pat, res.Counts[i], want)
+			}
+		}
+	}
+}
+
+func TestEnumeratedEqualsSumOfMotifs(t *testing.T) {
+	// Every enumerated connected subgraph is isomorphic to exactly one
+	// connected pattern, so the per-pattern counts must sum to Enumerated.
+	g := graph.RMATDefault(100, 500, 223)
+	for _, k := range []int{3, 4} {
+		_, res, err := CountMotifs(g, k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, c := range res.Counts {
+			sum += c
+		}
+		if sum != res.Enumerated {
+			t.Errorf("k=%d: motif sum %d != enumerated %d", k, sum, res.Enumerated)
+		}
+	}
+}
+
+func TestStructuredGraphCounts(t *testing.T) {
+	// C(n,k) connected k-subsets of K_n are all cliques.
+	g := graph.Complete(7)
+	pats, res, err := CountMotifs(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pat := range pats {
+		want := uint64(0)
+		if pat.NumEdges() == 6 { // the 4-clique
+			want = 35 // C(7,4)
+		}
+		if res.Counts[i] != want {
+			t.Errorf("K7 pattern %v: %d, want %d", pat, res.Counts[i], want)
+		}
+	}
+	// A path graph contains only path subgraphs.
+	pg := graph.Path(10)
+	pats, res, err = CountMotifs(pg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pat := range pats {
+		want := uint64(0)
+		if pat.NumEdges() == 2 {
+			want = 8 // 8 wedges in P10
+		}
+		if res.Counts[i] != want {
+			t.Errorf("P10 pattern %v: %d, want %d", pat, res.Counts[i], want)
+		}
+	}
+}
+
+func TestSingleVertexSubgraphs(t *testing.T) {
+	g := graph.Star(5)
+	_, res, err := CountMotifs(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 4 {
+		t.Fatalf("edges in star(5) = %d, want 4", res.Counts[0])
+	}
+}
+
+func TestRejectsBadInputs(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := CountPatterns(g, []*pattern.Pattern{pattern.Triangle()}, 4, 1); err == nil {
+		t.Fatal("want error for size mismatch")
+	}
+	if _, err := CountPatterns(g, nil, 0, 1); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+func TestThreadCountInvariant(t *testing.T) {
+	g := graph.RMATDefault(120, 600, 227)
+	_, r1, err := CountMotifs(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r8, err := CountMotifs(g, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Enumerated != r8.Enumerated {
+		t.Fatalf("enumeration depends on threads: %d vs %d", r1.Enumerated, r8.Enumerated)
+	}
+	for i := range r1.Counts {
+		if r1.Counts[i] != r8.Counts[i] {
+			t.Fatalf("count %d depends on threads", i)
+		}
+	}
+}
+
+func TestPropertyESUMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(30)
+		g := graph.Uniform(n, uint64(rng.Intn(4*n)), rng.Int63())
+		k := 3 + rng.Intn(2)
+		pats, res, err := CountMotifs(g, k, 2)
+		if err != nil {
+			return false
+		}
+		for i, pat := range pats {
+			if res.Counts[i] != plan.BruteForceCount(g, pat, true) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkObliviousVsPatternAware(b *testing.B) {
+	// The paper's §1 motivation: pattern-oblivious enumeration explores
+	// vastly more subgraphs than pattern-aware construction.
+	g := graph.RMATDefault(2000, 10000, 229)
+	b.Run("oblivious-3motif", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := CountMotifs(g, 3, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pattern-aware-3motif", func(b *testing.B) {
+		pats := pattern.ConnectedPatterns(3)
+		plans := make([]*plan.Plan, len(pats))
+		for i, p := range pats {
+			plans[i] = plan.MustCompile(p, plan.Options{Style: plan.StyleGraphPi, Induced: true})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, pl := range plans {
+				plan.CountGraph(pl, g)
+			}
+		}
+	})
+}

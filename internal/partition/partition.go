@@ -1,0 +1,150 @@
+// Package partition implements the 1-D hash graph partitioning of the paper
+// (§2.2): the vertex set is split across N machines by a hash function, and
+// machine i keeps all edges with at least one endpoint in its vertex set —
+// i.e. the full adjacency list of every owned vertex. It also implements the
+// NUMA sub-partitioning of §5.4, which splits a node's vertices across M
+// sockets with a secondary hash.
+package partition
+
+import (
+	"fmt"
+
+	"khuzdul/internal/graph"
+)
+
+// Assignment maps vertices to machines (and sockets) by hashing, which keeps
+// the distribution balanced on skewed graphs, as in Pregel and G-thinker.
+type Assignment struct {
+	numNodes   int
+	numSockets int // sockets per node; 1 disables NUMA sub-partitioning
+}
+
+// NewAssignment returns an assignment over numNodes machines with
+// numSockets sockets each.
+func NewAssignment(numNodes, numSockets int) Assignment {
+	if numNodes < 1 {
+		panic(fmt.Sprintf("partition: numNodes = %d", numNodes))
+	}
+	if numSockets < 1 {
+		numSockets = 1
+	}
+	return Assignment{numNodes: numNodes, numSockets: numSockets}
+}
+
+// NumNodes returns the number of machines.
+func (a Assignment) NumNodes() int { return a.numNodes }
+
+// NumSockets returns the number of sockets per machine.
+func (a Assignment) NumSockets() int { return a.numSockets }
+
+// Owner returns the machine owning vertex v. The hash mixes all bits before
+// reducing: a bare multiplicative constant is ≡1 mod small powers of two,
+// which would degenerate to v%N and pile every R-MAT hub (their IDs cluster
+// at multiples of powers of two) onto machine 0.
+func (a Assignment) Owner(v graph.VertexID) int {
+	h := uint64(v)
+	h ^= h >> 16
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(a.numNodes))
+}
+
+// Socket returns the socket of v within its owner machine.
+func (a Assignment) Socket(v graph.VertexID) int {
+	if a.numSockets == 1 {
+		return 0
+	}
+	// A different mix than Owner so socket and node assignments are
+	// independent.
+	h := uint64(v)
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return int(h % uint64(a.numSockets))
+}
+
+// Local is one machine's partition: the set of owned vertices plus their
+// full adjacency lists. In this in-process simulation the CSR storage is
+// shared, but engines access remote vertices only through the communication
+// fabric; Neighbors returns ok=false for vertices this machine does not own,
+// which keeps the discipline honest.
+type Local struct {
+	g    *graph.Graph
+	asg  Assignment
+	node int
+}
+
+// NewLocal returns machine node's view of g under assignment asg.
+func NewLocal(g *graph.Graph, asg Assignment, node int) *Local {
+	if node < 0 || node >= asg.numNodes {
+		panic(fmt.Sprintf("partition: node %d out of range", node))
+	}
+	return &Local{g: g, asg: asg, node: node}
+}
+
+// Node returns the machine ID of this partition.
+func (l *Local) Node() int { return l.node }
+
+// Assignment returns the global assignment.
+func (l *Local) Assignment() Assignment { return l.asg }
+
+// Owns reports whether this machine owns v.
+func (l *Local) Owns(v graph.VertexID) bool { return l.asg.Owner(v) == l.node }
+
+// Neighbors returns the adjacency list of v if owned locally.
+func (l *Local) Neighbors(v graph.VertexID) ([]graph.VertexID, bool) {
+	if !l.Owns(v) {
+		return nil, false
+	}
+	return l.g.Neighbors(v), true
+}
+
+// MustNeighbors returns the adjacency of an owned vertex, panicking on a
+// partition-discipline violation (a bug in an engine).
+func (l *Local) MustNeighbors(v graph.VertexID) []graph.VertexID {
+	adj, ok := l.Neighbors(v)
+	if !ok {
+		panic(fmt.Sprintf("partition: node %d asked locally for remote vertex %d (owner %d)",
+			l.node, v, l.asg.Owner(v)))
+	}
+	return adj
+}
+
+// Label returns the label of any vertex. Labels are metadata replicated with
+// the vertex ID space (tiny compared to adjacency), so label access is not a
+// remote operation.
+func (l *Local) Label(v graph.VertexID) graph.Label { return l.g.Label(v) }
+
+// Degree returns the degree of an owned vertex.
+func (l *Local) Degree(v graph.VertexID) (uint32, bool) {
+	if !l.Owns(v) {
+		return 0, false
+	}
+	return l.g.Degree(v), true
+}
+
+// OwnedVertices returns all vertices owned by this machine, ascending.
+func (l *Local) OwnedVertices() []graph.VertexID {
+	var out []graph.VertexID
+	for v := 0; v < l.g.NumVertices(); v++ {
+		if l.Owns(graph.VertexID(v)) {
+			out = append(out, graph.VertexID(v))
+		}
+	}
+	return out
+}
+
+// SocketVertices returns the owned vertices assigned to one socket.
+func (l *Local) SocketVertices(socket int) []graph.VertexID {
+	var out []graph.VertexID
+	for v := 0; v < l.g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if l.Owns(id) && l.asg.Socket(id) == socket {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NumVertices returns the global vertex count.
+func (l *Local) NumVertices() int { return l.g.NumVertices() }

@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"khuzdul/internal/graph"
+)
+
+func TestOwnerInRange(t *testing.T) {
+	a := NewAssignment(8, 2)
+	f := func(v uint32) bool {
+		o := a.Owner(graph.VertexID(v))
+		s := a.Socket(graph.VertexID(v))
+		return o >= 0 && o < 8 && s >= 0 && s < 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerBalanced(t *testing.T) {
+	a := NewAssignment(4, 1)
+	counts := make([]int, 4)
+	n := 100000
+	for v := 0; v < n; v++ {
+		counts[a.Owner(graph.VertexID(v))]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(n)
+		if frac < 0.2 || frac > 0.3 {
+			t.Errorf("node %d owns %.1f%% of vertices, want ~25%%", i, 100*frac)
+		}
+	}
+}
+
+func TestSocketBalanced(t *testing.T) {
+	a := NewAssignment(1, 2)
+	counts := make([]int, 2)
+	for v := 0; v < 50000; v++ {
+		counts[a.Socket(graph.VertexID(v))]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / 50000
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("socket %d has %.1f%%, want ~50%%", i, 100*frac)
+		}
+	}
+}
+
+func TestLocalPartitionCoverage(t *testing.T) {
+	g := graph.RMATDefault(500, 2000, 17)
+	asg := NewAssignment(3, 1)
+	owned := map[graph.VertexID]int{}
+	for node := 0; node < 3; node++ {
+		l := NewLocal(g, asg, node)
+		for _, v := range l.OwnedVertices() {
+			if prev, dup := owned[v]; dup {
+				t.Fatalf("vertex %d owned by both %d and %d", v, prev, node)
+			}
+			owned[v] = node
+			adj, ok := l.Neighbors(v)
+			if !ok {
+				t.Fatalf("node %d does not serve its own vertex %d", node, v)
+			}
+			if len(adj) != len(g.Neighbors(v)) {
+				t.Fatalf("partition truncated adjacency of %d", v)
+			}
+		}
+	}
+	if len(owned) != g.NumVertices() {
+		t.Fatalf("only %d of %d vertices owned", len(owned), g.NumVertices())
+	}
+}
+
+func TestLocalRejectsRemote(t *testing.T) {
+	g := graph.Complete(10)
+	asg := NewAssignment(2, 1)
+	l := NewLocal(g, asg, 0)
+	for v := 0; v < 10; v++ {
+		id := graph.VertexID(v)
+		_, ok := l.Neighbors(id)
+		if ok != l.Owns(id) {
+			t.Fatalf("Neighbors(%d) ok=%v but Owns=%v", v, ok, l.Owns(id))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNeighbors on remote vertex did not panic")
+		}
+	}()
+	for v := 0; v < 10; v++ {
+		if !l.Owns(graph.VertexID(v)) {
+			l.MustNeighbors(graph.VertexID(v))
+		}
+	}
+}
+
+func TestSocketVerticesPartitionOwned(t *testing.T) {
+	g := graph.RMATDefault(300, 900, 5)
+	asg := NewAssignment(2, 2)
+	l := NewLocal(g, asg, 1)
+	s0 := l.SocketVertices(0)
+	s1 := l.SocketVertices(1)
+	if len(s0)+len(s1) != len(l.OwnedVertices()) {
+		t.Fatalf("sockets %d+%d != owned %d", len(s0), len(s1), len(l.OwnedVertices()))
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, v := range append(append([]graph.VertexID{}, s0...), s1...) {
+		if seen[v] {
+			t.Fatalf("vertex %d in both sockets", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDegreeAndLabel(t *testing.T) {
+	g0 := graph.Star(6)
+	g, err := g0.WithLabels([]graph.Label{9, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := NewAssignment(2, 1)
+	for node := 0; node < 2; node++ {
+		l := NewLocal(g, asg, node)
+		for _, v := range l.OwnedVertices() {
+			d, ok := l.Degree(v)
+			if !ok || d != g.Degree(v) {
+				t.Fatalf("Degree(%d) = %d,%v", v, d, ok)
+			}
+		}
+		// Labels are replicated: accessible for every vertex.
+		if l.Label(0) != 9 {
+			t.Fatalf("Label(0) = %d, want 9", l.Label(0))
+		}
+	}
+}

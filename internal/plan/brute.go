@@ -1,0 +1,55 @@
+package plan
+
+import (
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+)
+
+// BruteForceCount counts the embeddings of pat in g by enumerating every
+// injective vertex mapping and dividing by the automorphism group size. It
+// is deliberately independent of the plan machinery (no matching orders, no
+// restrictions, no set-operation kernels) and serves as the correctness
+// oracle for every engine in the repository. Only use it on small graphs.
+func BruteForceCount(g *graph.Graph, pat *pattern.Pattern, induced bool) uint64 {
+	k := pat.NumVertices()
+	n := g.NumVertices()
+	aut := uint64(len(pattern.Automorphisms(pat)))
+	emb := make([]graph.VertexID, k)
+	var maps uint64
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == k {
+			maps++
+			return
+		}
+	next:
+		for v := 0; v < n; v++ {
+			cand := graph.VertexID(v)
+			if pat.Labeled() && g.Label(cand) != pat.Label(pos) {
+				continue
+			}
+			for j := 0; j < pos; j++ {
+				if emb[j] == cand {
+					continue next
+				}
+				hasG := g.HasEdge(emb[j], cand)
+				hasP := pat.HasEdge(j, pos)
+				if hasP && !hasG {
+					continue next
+				}
+				if induced && !hasP && hasG {
+					continue next
+				}
+				if hasP && pat.EdgeLabeled() {
+					if l, _ := g.EdgeLabel(emb[j], cand); l != pat.EdgeLabel(j, pos) {
+						continue next
+					}
+				}
+			}
+			emb[pos] = cand
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return maps / aut
+}

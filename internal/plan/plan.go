@@ -1,0 +1,242 @@
+// Package plan compiles pattern graphs into enumeration plans: a matching
+// order with connected prefixes, per-level set operations, symmetry-breaking
+// restrictions derived from the pattern's automorphism group, and the
+// bookkeeping the Khuzdul engine needs for its extendable-embedding
+// abstraction (which positions are "active" at each level, whether a level's
+// intersection can be reused by its children — the paper's vertical
+// computation sharing).
+//
+// A plan is the Go equivalent of the paper's compiled EXTEND function: the
+// client systems (internal/automine, internal/graphpi) produce plans in their
+// respective styles, and every engine in the repository executes them.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+)
+
+// Style selects the order-selection strategy of a client GPM system.
+type Style int
+
+const (
+	// StyleAutomine uses Automine's canonical greedy matching order.
+	StyleAutomine Style = iota
+	// StyleGraphPi searches all connected-prefix orders with a cost model,
+	// reproducing GraphPi's schedule-quality advantage.
+	StyleGraphPi
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleAutomine:
+		return "automine"
+	case StyleGraphPi:
+		return "graphpi"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// Restriction is a symmetry-breaking constraint: the vertex matched at
+// position A must have a smaller ID than the vertex matched at position B.
+// Restrictions always point forward (A < B) and are enforced when matching
+// position B.
+type Restriction struct {
+	A, B int
+}
+
+// Level describes how to match the pattern position at a given depth.
+// Position 0 (the root) has a trivial level.
+type Level struct {
+	// Intersect lists the earlier positions adjacent to this one in the
+	// pattern; the raw candidate set is the intersection of their edge lists.
+	Intersect []int
+	// EdgeLabels, when the pattern is edge-labeled, holds the required
+	// label of the edge to each Intersect position (parallel slices).
+	EdgeLabels []graph.Label
+	// Subtract lists the earlier positions NOT adjacent to this one; in
+	// induced mode their edge lists are subtracted from the candidates.
+	Subtract []int
+	// LowerBounds lists earlier positions a with restriction emb[a] < v.
+	LowerBounds []int
+	// UpperBounds is unused by the stabilizer-chain scheme (restrictions
+	// always point forward) but kept for generality of hand-written plans.
+	UpperBounds []int
+	// ReuseSame marks that this level's raw intersection equals the parent
+	// level's stored intersection (no set operation needed at all).
+	ReuseSame bool
+	// ReuseExtend marks that this level's raw intersection is the parent's
+	// stored intersection ∩ N(previous vertex) — the paper's vertical
+	// computation sharing (§5.1, Figure 9).
+	ReuseExtend bool
+	// StoreInter marks that the raw intersection computed at this level must
+	// be kept in the extendable embedding for reuse by its children.
+	StoreInter bool
+	// NeedsList marks that the vertex matched at this level is an active
+	// vertex of some deeper level, i.e. its edge list must be fetched and
+	// carried in the extendable embedding.
+	NeedsList bool
+	// Active lists the positions whose edge lists must be available in an
+	// extendable embedding at this level (the paper's active vertices).
+	Active []int
+}
+
+// Plan is a compiled enumeration schedule for one pattern.
+type Plan struct {
+	// Pattern is the original pattern (before reordering).
+	Pattern *pattern.Pattern
+	// Order maps position → original pattern vertex.
+	Order []int
+	// K is the number of pattern vertices.
+	K int
+	// Levels has one entry per position.
+	Levels []Level
+	// Restrictions is the full symmetry-breaking set (also folded into the
+	// per-level LowerBounds).
+	Restrictions []Restriction
+	// AutSize is the order of the pattern's automorphism group.
+	AutSize int
+	// Induced selects induced matching (motif semantics).
+	Induced bool
+	// VCS reports whether vertical computation sharing annotations are on.
+	VCS bool
+	// Labels holds the per-position required vertex label, nil if unlabeled.
+	Labels []graph.Label
+	// EdgeLabeled marks plans whose pattern constrains edge labels.
+	EdgeLabeled bool
+	// Style records which client system produced the plan.
+	Style Style
+	// EstCost is the cost-model estimate used during order selection.
+	EstCost float64
+}
+
+// Options configures compilation.
+type Options struct {
+	Style   Style
+	Induced bool
+	// VCS enables vertical computation sharing annotations (default on via
+	// Compile; disable to reproduce the paper's Figure 11 ablation).
+	DisableVCS bool
+	// DisableSymmetryBreak drops all restrictions; counts must then be
+	// divided by AutSize. Used by tests to validate the restriction scheme.
+	DisableSymmetryBreak bool
+	// Stats feeds the GraphPi cost model; zero value uses generic defaults.
+	Stats GraphStats
+}
+
+// GraphStats summarizes the input graph for the cost model.
+type GraphStats struct {
+	NumVertices int
+	AvgDegree   float64
+	MaxDegree   uint32
+}
+
+// StatsOf extracts cost-model statistics from a graph.
+func StatsOf(g *graph.Graph) GraphStats {
+	n := g.NumVertices()
+	avg := 0.0
+	if n > 0 {
+		avg = float64(g.NumDirectedEdges()) / float64(n)
+	}
+	return GraphStats{NumVertices: n, AvgDegree: avg, MaxDegree: g.MaxDegree()}
+}
+
+// PosLabel returns the required label of the vertex matched at position i.
+func (p *Plan) PosLabel(i int) graph.Label {
+	if p.Labels == nil {
+		return 0
+	}
+	return p.Labels[i]
+}
+
+// Labeled reports whether the plan constrains vertex labels.
+func (p *Plan) Labeled() bool { return p.Labels != nil }
+
+// MaxActive returns the maximum number of active positions over all levels.
+func (p *Plan) MaxActive() int {
+	max := 0
+	for _, lv := range p.Levels {
+		if len(lv.Active) > max {
+			max = len(lv.Active)
+		}
+	}
+	return max
+}
+
+// String renders a compact human-readable schedule.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan{%s k=%d order=%v aut=%d", p.Style, p.K, p.Order, p.AutSize)
+	if p.Induced {
+		sb.WriteString(" induced")
+	}
+	for i := 1; i < p.K; i++ {
+		lv := &p.Levels[i]
+		fmt.Fprintf(&sb, " L%d(int=%v", i, lv.Intersect)
+		if len(lv.Subtract) > 0 {
+			fmt.Fprintf(&sb, " sub=%v", lv.Subtract)
+		}
+		if len(lv.LowerBounds) > 0 {
+			fmt.Fprintf(&sb, " lb=%v", lv.LowerBounds)
+		}
+		if lv.ReuseSame {
+			sb.WriteString(" reuse=same")
+		}
+		if lv.ReuseExtend {
+			sb.WriteString(" reuse=extend")
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Validate checks internal consistency; compiled plans always pass, and
+// hand-written plans can use it as a safety net.
+func (p *Plan) Validate() error {
+	if p.K != len(p.Levels) {
+		return fmt.Errorf("plan: K=%d but %d levels", p.K, len(p.Levels))
+	}
+	if p.K != p.Pattern.NumVertices() {
+		return fmt.Errorf("plan: K=%d but pattern has %d vertices", p.K, p.Pattern.NumVertices())
+	}
+	if len(p.Order) != p.K {
+		return fmt.Errorf("plan: order length %d != K", len(p.Order))
+	}
+	seen := make([]bool, p.K)
+	for _, v := range p.Order {
+		if v < 0 || v >= p.K || seen[v] {
+			return fmt.Errorf("plan: order %v is not a permutation", p.Order)
+		}
+		seen[v] = true
+	}
+	for i := 1; i < p.K; i++ {
+		lv := &p.Levels[i]
+		if len(lv.Intersect) == 0 {
+			return fmt.Errorf("plan: level %d has no intersect positions (order prefix disconnected)", i)
+		}
+		for _, j := range lv.Intersect {
+			if j < 0 || j >= i {
+				return fmt.Errorf("plan: level %d intersects future position %d", i, j)
+			}
+		}
+		for _, r := range lv.LowerBounds {
+			if r < 0 || r >= i {
+				return fmt.Errorf("plan: level %d lower bound on future position %d", i, r)
+			}
+		}
+		if lv.ReuseSame && lv.ReuseExtend {
+			return fmt.Errorf("plan: level %d has both reuse modes", i)
+		}
+	}
+	for _, r := range p.Restrictions {
+		if r.A >= r.B {
+			return fmt.Errorf("plan: restriction %v does not point forward", r)
+		}
+	}
+	return nil
+}

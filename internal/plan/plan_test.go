@@ -1,0 +1,306 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+)
+
+func compile(t *testing.T, p *pattern.Pattern, opts Options) *Plan {
+	t.Helper()
+	pl, err := Compile(p, opts)
+	if err != nil {
+		t.Fatalf("Compile(%v): %v", p, err)
+	}
+	return pl
+}
+
+func TestCompileRejectsBadPatterns(t *testing.T) {
+	disc := pattern.New(4)
+	disc.AddEdge(0, 1)
+	disc.AddEdge(2, 3)
+	if _, err := Compile(disc, Options{}); err == nil {
+		t.Fatal("want error for disconnected pattern")
+	}
+	if _, err := Compile(pattern.New(1), Options{}); err == nil {
+		t.Fatal("want error for single-vertex pattern")
+	}
+}
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"K4", graph.Complete(4), 4},
+		{"K5", graph.Complete(5), 10},
+		{"C5", graph.Cycle(5), 0},
+		{"star", graph.Star(10), 0},
+		{"grid", graph.Grid(3, 3), 0},
+	}
+	for _, style := range []Style{StyleAutomine, StyleGraphPi} {
+		pl := MustCompile(pattern.Triangle(), Options{Style: style})
+		for _, c := range cases {
+			if got := CountGraph(pl, c.g); got != c.want {
+				t.Errorf("%v/%s: triangles = %d, want %d", style, c.name, got, c.want)
+			}
+		}
+	}
+}
+
+func TestCliqueCountsComplete(t *testing.T) {
+	// #k-cliques of K_n = C(n,k).
+	binom := func(n, k int) uint64 {
+		r := uint64(1)
+		for i := 0; i < k; i++ {
+			r = r * uint64(n-i) / uint64(i+1)
+		}
+		return r
+	}
+	g := graph.Complete(8)
+	for k := 2; k <= 5; k++ {
+		pl := MustCompile(pattern.Clique(k), Options{Style: StyleGraphPi})
+		if got, want := CountGraph(pl, g), binom(8, k); got != want {
+			t.Errorf("%d-cliques of K8 = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCycleAndPathCounts(t *testing.T) {
+	// C_n contains exactly one n-cycle and n paths of each length < n.
+	g := graph.Cycle(7)
+	pl := MustCompile(pattern.CycleP(7), Options{Style: StyleGraphPi})
+	if got := CountGraph(pl, g); got != 1 {
+		t.Errorf("7-cycles in C7 = %d, want 1", got)
+	}
+	pl = MustCompile(pattern.PathP(4), Options{Style: StyleAutomine})
+	if got := CountGraph(pl, g); got != 7 {
+		t.Errorf("P4s in C7 = %d, want 7", got)
+	}
+}
+
+func TestInducedVsNonInduced(t *testing.T) {
+	// K4 contains 3 non-induced 4-cycles but 0 induced ones.
+	g := graph.Complete(4)
+	ni := MustCompile(pattern.CycleP(4), Options{Style: StyleGraphPi})
+	if got := CountGraph(ni, g); got != 3 {
+		t.Errorf("non-induced C4 in K4 = %d, want 3", got)
+	}
+	in := MustCompile(pattern.CycleP(4), Options{Style: StyleGraphPi, Induced: true})
+	if got := CountGraph(in, g); got != 0 {
+		t.Errorf("induced C4 in K4 = %d, want 0", got)
+	}
+	// C4 contains exactly one induced 4-cycle.
+	if got := CountGraph(in, graph.Cycle(4)); got != 1 {
+		t.Errorf("induced C4 in C4 = %d, want 1", got)
+	}
+}
+
+func TestLabeledMatching(t *testing.T) {
+	// Path a-b-a in a labeled triangle: labels (1,2,1).
+	g0 := graph.Complete(3)
+	g, err := g0.WithLabels([]graph.Label{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := pattern.PathP(3).WithLabels([]graph.Label{1, 2, 1})
+	pl := MustCompile(pat, Options{Style: StyleGraphPi})
+	if got := CountGraph(pl, g); got != 1 {
+		t.Errorf("labeled wedge count = %d, want 1", got)
+	}
+	want := BruteForceCount(g, pat, false)
+	if got := CountGraph(pl, g); got != want {
+		t.Errorf("labeled count %d != brute force %d", got, want)
+	}
+}
+
+func TestAllStylesMatchBruteForce(t *testing.T) {
+	pats := map[string]*pattern.Pattern{
+		"triangle":        pattern.Triangle(),
+		"4-clique":        pattern.Clique(4),
+		"4-cycle":         pattern.CycleP(4),
+		"4-path":          pattern.PathP(4),
+		"4-star":          pattern.StarP(4),
+		"tailed-triangle": pattern.TailedTriangle(),
+		"diamond":         pattern.Diamond(),
+		"house":           pattern.House(),
+		"5-clique":        pattern.Clique(5),
+	}
+	graphs := map[string]*graph.Graph{
+		"rmat":    graph.RMATDefault(60, 240, 3),
+		"uniform": graph.Uniform(50, 180, 4),
+		"grid":    graph.Grid(5, 5),
+		"k7":      graph.Complete(7),
+	}
+	for pname, pat := range pats {
+		for gname, g := range graphs {
+			for _, induced := range []bool{false, true} {
+				want := BruteForceCount(g, pat, induced)
+				for _, style := range []Style{StyleAutomine, StyleGraphPi} {
+					pl := MustCompile(pat, Options{Style: style, Induced: induced, Stats: StatsOf(g)})
+					if got := CountGraph(pl, g); got != want {
+						t.Errorf("%s on %s (induced=%v, %v): got %d, want %d\nplan: %v",
+							pname, gname, induced, style, got, want, pl)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetryBreakMatchesAutDivision(t *testing.T) {
+	// Counting with restrictions must equal unrestricted count / |Aut|.
+	g := graph.RMATDefault(50, 200, 9)
+	for _, pat := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.CycleP(4), pattern.PathP(4),
+		pattern.StarP(4), pattern.Diamond(),
+	} {
+		restricted := MustCompile(pat, Options{Style: StyleGraphPi})
+		unrestricted := MustCompile(pat, Options{Style: StyleGraphPi, DisableSymmetryBreak: true})
+		r := CountGraph(restricted, g)
+		u := CountGraph(unrestricted, g)
+		if u != r*uint64(restricted.AutSize) {
+			t.Errorf("%v: restricted %d × aut %d != unrestricted %d",
+				pat, r, restricted.AutSize, u)
+		}
+	}
+}
+
+func TestVCSDoesNotChangeCounts(t *testing.T) {
+	g := graph.RMATDefault(70, 350, 21)
+	for _, pat := range []*pattern.Pattern{
+		pattern.Clique(4), pattern.Clique(5), pattern.House(), pattern.CycleP(5),
+	} {
+		on := MustCompile(pat, Options{Style: StyleGraphPi})
+		off := MustCompile(pat, Options{Style: StyleGraphPi, DisableVCS: true})
+		if a, b := CountGraph(on, g), CountGraph(off, g); a != b {
+			t.Errorf("%v: VCS on %d != off %d", pat, a, b)
+		}
+	}
+}
+
+func TestVCSAnnotationsOnCliques(t *testing.T) {
+	// Clique levels intersect all prior positions, so every level ≥2 must be
+	// annotated ReuseExtend (the paper's Figure 9 example).
+	pl := MustCompile(pattern.Clique(5), Options{Style: StyleGraphPi})
+	for i := 2; i < pl.K; i++ {
+		if !pl.Levels[i].ReuseExtend {
+			t.Errorf("clique level %d not ReuseExtend: %v", i, pl)
+		}
+		if !pl.Levels[i-1].StoreInter {
+			t.Errorf("clique level %d should StoreInter", i-1)
+		}
+	}
+}
+
+func TestActiveAntiMonotone(t *testing.T) {
+	// Once a position becomes inactive it stays inactive (paper §3.1).
+	for _, pat := range []*pattern.Pattern{
+		pattern.Clique(5), pattern.House(), pattern.CycleP(5), pattern.StarP(5),
+	} {
+		pl := MustCompile(pat, Options{Style: StyleAutomine})
+		for i := 1; i < pl.K; i++ {
+			prev := map[int]bool{}
+			for _, a := range pl.Levels[i-1].Active {
+				prev[a] = true
+			}
+			for _, a := range pl.Levels[i].Active {
+				if a < i && !prev[a] {
+					t.Errorf("%v: position %d inactive at level %d but active at %d",
+						pat, a, i-1, i)
+				}
+			}
+		}
+		// Last level needs no lists.
+		if pl.Levels[pl.K-1].NeedsList {
+			t.Errorf("%v: last level claims NeedsList", pat)
+		}
+	}
+}
+
+func TestGraphPiOrderBeatsOrEqualsAutomine(t *testing.T) {
+	stats := GraphStats{NumVertices: 1 << 20, AvgDegree: 32}
+	for _, pat := range []*pattern.Pattern{
+		pattern.House(), pattern.TailedTriangle(), pattern.CycleP(5),
+	} {
+		gp := MustCompile(pat, Options{Style: StyleGraphPi, Stats: stats})
+		am := MustCompile(pat, Options{Style: StyleAutomine, Stats: stats})
+		if gp.EstCost > am.EstCost {
+			t.Errorf("%v: GraphPi cost %.1f worse than Automine %.1f",
+				pat, gp.EstCost, am.EstCost)
+		}
+	}
+}
+
+func TestVisitRootEmitsValidEmbeddings(t *testing.T) {
+	g := graph.RMATDefault(40, 160, 8)
+	pat := pattern.TailedTriangle()
+	pl := MustCompile(pat, Options{Style: StyleGraphPi})
+	e := NewExecutor(pl, g.Neighbors, nil)
+	count := uint64(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		e.VisitRoot(graph.VertexID(v), func(emb []graph.VertexID) {
+			count++
+			// Verify the embedding is a genuine match of the reordered pattern.
+			q := pat.Relabel(pl.Order)
+			for a := 0; a < pl.K; a++ {
+				for b := a + 1; b < pl.K; b++ {
+					if q.HasEdge(a, b) && !g.HasEdge(emb[a], emb[b]) {
+						t.Fatalf("emitted non-embedding %v", emb)
+					}
+					if emb[a] == emb[b] {
+						t.Fatalf("emitted non-injective embedding %v", emb)
+					}
+				}
+			}
+		})
+	}
+	if want := CountGraph(pl, g); count != want {
+		t.Fatalf("VisitRoot emitted %d, CountGraph says %d", count, want)
+	}
+}
+
+func TestPropertyEnginesAgreeOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		g := graph.Uniform(n, uint64(rng.Intn(4*n)), rng.Int63())
+		pats := []*pattern.Pattern{pattern.Triangle(), pattern.CycleP(4), pattern.Clique(4)}
+		pat := pats[rng.Intn(len(pats))]
+		induced := rng.Intn(2) == 0
+		want := BruteForceCount(g, pat, induced)
+		am := MustCompile(pat, Options{Style: StyleAutomine, Induced: induced})
+		gp := MustCompile(pat, Options{Style: StyleGraphPi, Induced: induced})
+		return CountGraph(am, g) == want && CountGraph(gp, g) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanStringAndValidate(t *testing.T) {
+	pl := MustCompile(pattern.Diamond(), Options{Style: StyleGraphPi})
+	if pl.String() == "" {
+		t.Fatal("empty plan string")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the plan and expect Validate to notice.
+	bad := *pl
+	bad.Order = []int{0, 0, 1, 2}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted non-permutation order")
+	}
+}
+
+func TestMaxActiveBounded(t *testing.T) {
+	pl := MustCompile(pattern.Clique(5), Options{Style: StyleGraphPi})
+	if ma := pl.MaxActive(); ma < 1 || ma > 4 {
+		t.Fatalf("MaxActive = %d out of range", ma)
+	}
+}

@@ -1,0 +1,55 @@
+package replicated
+
+import (
+	"testing"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	g := graph.RMATDefault(100, 500, 127)
+	for _, pat := range []*pattern.Pattern{pattern.Triangle(), pattern.Clique(4)} {
+		want := plan.BruteForceCount(g, pat, false)
+		for _, nodes := range []int{1, 4, 8} {
+			res, err := Count(g, pat, Config{NumNodes: nodes, ThreadsPerNode: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Errorf("%v nodes=%d: %d, want %d", pat, nodes, res.Count, want)
+			}
+		}
+	}
+}
+
+func TestMemoryScalesWithReplication(t *testing.T) {
+	g := graph.RMATDefault(200, 1000, 131)
+	r1, err := Count(g, pattern.Triangle(), Config{NumNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Count(g, pattern.Triangle(), Config{NumNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.MemoryBytes != 8*r1.MemoryBytes {
+		t.Fatalf("replication memory: 1 node %d, 8 nodes %d", r1.MemoryBytes, r8.MemoryBytes)
+	}
+}
+
+func TestCountMotifs(t *testing.T) {
+	g := graph.RMATDefault(60, 300, 137)
+	var want uint64
+	for _, pat := range pattern.ConnectedPatterns(3) {
+		want += plan.BruteForceCount(g, pat, true)
+	}
+	res, err := CountMotifs(g, 3, Config{NumNodes: 2, ThreadsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("3-motif total = %d, want %d", res.Count, want)
+	}
+}

@@ -1,0 +1,226 @@
+// Package setops provides the sorted-set kernels at the heart of
+// pattern-aware enumeration: intersections, subtractions, and bounded
+// variants of both. Every adjacency list in this repository is a strictly
+// ascending []graph.VertexID, and every engine — the Khuzdul core, the
+// single-machine executors, and all baselines — funnels its per-level
+// candidate generation through these functions.
+//
+// All functions append to dst and return the extended slice, so callers can
+// reuse buffers across calls. Inputs must be strictly ascending; outputs are
+// strictly ascending.
+package setops
+
+import (
+	"khuzdul/internal/graph"
+)
+
+// Intersect appends a ∩ b to dst.
+// It switches to galloping search when the lists' sizes are lopsided, which
+// matters on skewed graphs where a hub list meets a short list.
+func Intersect(dst, a, b []graph.VertexID) []graph.VertexID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= 32*len(a) {
+		return gallopIntersect(dst, a, b)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// gallopIntersect intersects a short list a with a much longer list b by
+// exponential + binary search in b.
+func gallopIntersect(dst, a, b []graph.VertexID) []graph.VertexID {
+	lo := 0
+	for _, x := range a {
+		// Exponential probe from lo.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search in (lo-1, hi].
+		l, r := lo, hi
+		for l < r {
+			m := int(uint(l+r) >> 1)
+			if b[m] < x {
+				l = m + 1
+			} else {
+				r = m
+			}
+		}
+		lo = l
+		if lo < len(b) && b[lo] == x {
+			dst = append(dst, x)
+			lo++
+		}
+		if lo >= len(b) {
+			break
+		}
+	}
+	return dst
+}
+
+// IntersectBounded appends {x ∈ a ∩ b : lo < x < hi} to dst. Bounds encode
+// symmetry-breaking restrictions; pass 0 for no lower bound and
+// ^graph.VertexID(0) for no upper bound. Bounds are exclusive.
+func IntersectBounded(dst, a, b []graph.VertexID, lo, hi graph.VertexID) []graph.VertexID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			x := a[i]
+			if x >= hi {
+				return dst
+			}
+			if x > lo {
+				dst = append(dst, x)
+			}
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// Subtract appends a \ b to dst.
+func Subtract(dst, a, b []graph.VertexID) []graph.VertexID {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// Filter appends {x ∈ a : lo ≤ x < hi, x ∉ excl} to dst. excl is a small
+// unsorted slice (the previously matched vertices); the lower bound is
+// inclusive so that 0 means "unbounded", the upper bound exclusive.
+func Filter(dst, a []graph.VertexID, lo, hi graph.VertexID, excl []graph.VertexID) []graph.VertexID {
+	for _, x := range a {
+		if x >= hi {
+			break
+		}
+		if x < lo {
+			continue
+		}
+		if contains(excl, x) {
+			continue
+		}
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// Contains reports whether sorted list a contains x, via binary search.
+func Contains(a []graph.VertexID, x graph.VertexID) bool {
+	l, r := 0, len(a)
+	for l < r {
+		m := int(uint(l+r) >> 1)
+		if a[m] < x {
+			l = m + 1
+		} else {
+			r = m
+		}
+	}
+	return l < len(a) && a[l] == x
+}
+
+// contains is linear scan over a tiny unsorted slice.
+func contains(s []graph.VertexID, x graph.VertexID) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectMany appends the intersection of all lists to dst. lists must be
+// non-empty; for a single list it appends a copy. The running intersection
+// uses scratch storage provided by the caller (may be nil).
+func IntersectMany(dst []graph.VertexID, lists [][]graph.VertexID, scratch []graph.VertexID) []graph.VertexID {
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[0]...)
+	case 2:
+		return Intersect(dst, lists[0], lists[1])
+	}
+	// Start from the two shortest lists to keep intermediates small.
+	cur := Intersect(scratch[:0], lists[0], lists[1])
+	for i := 2; i < len(lists)-1; i++ {
+		next := Intersect(nil, cur, lists[i])
+		cur = next
+	}
+	return Intersect(dst, cur, lists[len(lists)-1])
+}
+
+// CountIntersect returns |a ∩ b| without materializing the result.
+func CountIntersect(a, b []graph.VertexID) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// CountGreater returns |{x ∈ a : x > lo}|.
+func CountGreater(a []graph.VertexID, lo graph.VertexID) int {
+	l, r := 0, len(a)
+	for l < r {
+		m := int(uint(l+r) >> 1)
+		if a[m] <= lo {
+			l = m + 1
+		} else {
+			r = m
+		}
+	}
+	return len(a) - l
+}

@@ -1,0 +1,285 @@
+package setops
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"khuzdul/internal/graph"
+)
+
+func ids(xs ...int) []graph.VertexID {
+	out := make([]graph.VertexID, len(xs))
+	for i, x := range xs {
+		out[i] = graph.VertexID(x)
+	}
+	return out
+}
+
+func equal(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntersectBasic(t *testing.T) {
+	cases := []struct{ a, b, want []graph.VertexID }{
+		{ids(1, 3, 5), ids(2, 3, 5, 9), ids(3, 5)},
+		{ids(), ids(1, 2), ids()},
+		{ids(1, 2, 3), ids(), ids()},
+		{ids(1, 2, 3), ids(1, 2, 3), ids(1, 2, 3)},
+		{ids(1), ids(2), ids()},
+	}
+	for _, c := range cases {
+		if got := Intersect(nil, c.a, c.b); !equal(got, c.want) {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntersectGallopPath(t *testing.T) {
+	// A short list against a long one forces the galloping branch.
+	long := make([]graph.VertexID, 10000)
+	for i := range long {
+		long[i] = graph.VertexID(3 * i)
+	}
+	short := ids(0, 3, 7, 9999, 29997)
+	want := ids(0, 3, 9999, 29997)
+	if got := Intersect(nil, short, long); !equal(got, want) {
+		t.Fatalf("gallop intersect = %v, want %v", got, want)
+	}
+	// Symmetric argument order must not matter.
+	if got := Intersect(nil, long, short); !equal(got, want) {
+		t.Fatalf("gallop intersect (swapped) = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectAppendsToDst(t *testing.T) {
+	dst := ids(42)
+	got := Intersect(dst, ids(1, 2), ids(2, 3))
+	if !equal(got, ids(42, 2)) {
+		t.Fatalf("append semantics broken: %v", got)
+	}
+}
+
+func TestIntersectBounded(t *testing.T) {
+	a, b := ids(1, 2, 3, 4, 5, 6), ids(2, 3, 4, 5, 7)
+	if got := IntersectBounded(nil, a, b, 2, 5); !equal(got, ids(3, 4)) {
+		t.Fatalf("bounded = %v, want [3 4]", got)
+	}
+	none := graph.VertexID(0)
+	all := ^graph.VertexID(0)
+	if got := IntersectBounded(nil, a, b, none, all); !equal(got, ids(2, 3, 4, 5)) {
+		t.Fatalf("unbounded = %v", got)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	if got := Subtract(nil, ids(1, 2, 3, 4), ids(2, 4, 5)); !equal(got, ids(1, 3)) {
+		t.Fatalf("Subtract = %v, want [1 3]", got)
+	}
+	if got := Subtract(nil, ids(1, 2), nil); !equal(got, ids(1, 2)) {
+		t.Fatalf("Subtract with empty b = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	a := ids(1, 2, 3, 4, 5, 6, 7)
+	got := Filter(nil, a, 2, 7, ids(4))
+	if !equal(got, ids(2, 3, 5, 6)) {
+		t.Fatalf("Filter = %v, want [2 3 5 6]", got)
+	}
+	// lo = 0 means unbounded below (inclusive semantics).
+	if got := Filter(nil, ids(0, 1), 0, 7, nil); !equal(got, ids(0, 1)) {
+		t.Fatalf("Filter lo=0 = %v, want [0 1]", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := ids(2, 4, 6, 8)
+	for _, x := range []int{2, 4, 6, 8} {
+		if !Contains(a, graph.VertexID(x)) {
+			t.Fatalf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []int{1, 3, 9} {
+		if Contains(a, graph.VertexID(x)) {
+			t.Fatalf("Contains(%d) = true", x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Fatal("Contains on nil = true")
+	}
+}
+
+func TestIntersectMany(t *testing.T) {
+	lists := [][]graph.VertexID{
+		ids(1, 2, 3, 4, 5),
+		ids(2, 3, 4, 5, 6),
+		ids(3, 4, 5, 6, 7),
+		ids(4, 5, 9),
+	}
+	if got := IntersectMany(nil, lists, nil); !equal(got, ids(4, 5)) {
+		t.Fatalf("IntersectMany = %v, want [4 5]", got)
+	}
+	if got := IntersectMany(nil, lists[:1], nil); !equal(got, lists[0]) {
+		t.Fatalf("IntersectMany single = %v", got)
+	}
+	if got := IntersectMany(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("IntersectMany empty = %v", got)
+	}
+}
+
+func TestCountIntersect(t *testing.T) {
+	a, b := ids(1, 3, 5, 7), ids(3, 4, 5, 6, 7, 8)
+	if got := CountIntersect(a, b); got != 3 {
+		t.Fatalf("CountIntersect = %d, want 3", got)
+	}
+	if got := CountIntersect(nil, b); got != 0 {
+		t.Fatalf("CountIntersect nil = %d", got)
+	}
+}
+
+func TestCountGreater(t *testing.T) {
+	a := ids(1, 3, 5, 7)
+	if got := CountGreater(a, 3); got != 2 {
+		t.Fatalf("CountGreater(3) = %d, want 2", got)
+	}
+	if got := CountGreater(a, 0); got != 4 {
+		t.Fatalf("CountGreater(0) = %d, want 4", got)
+	}
+	if got := CountGreater(a, 7); got != 0 {
+		t.Fatalf("CountGreater(7) = %d, want 0", got)
+	}
+}
+
+// randSorted produces a strictly ascending random list.
+func randSorted(rng *rand.Rand, n, max int) []graph.VertexID {
+	seen := map[int]bool{}
+	for len(seen) < n {
+		seen[rng.Intn(max)] = true
+	}
+	out := make([]graph.VertexID, 0, n)
+	for x := range seen {
+		out = append(out, graph.VertexID(x))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// refIntersect is the trivially-correct reference.
+func refIntersect(a, b []graph.VertexID) []graph.VertexID {
+	m := map[graph.VertexID]bool{}
+	for _, x := range b {
+		m[x] = true
+	}
+	var out []graph.VertexID
+	for _, x := range a {
+		if m[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestPropertyIntersectMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSorted(rng, rng.Intn(50), 200)
+		b := randSorted(rng, rng.Intn(2000), 4000)
+		got := Intersect(nil, a, b)
+		want := refIntersect(a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Count must agree with materialized length.
+		return CountIntersect(a, b) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySubtractPartitions(t *testing.T) {
+	// (a ∩ b) and (a \ b) partition a.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSorted(rng, rng.Intn(100), 300)
+		b := randSorted(rng, rng.Intn(100), 300)
+		in := Intersect(nil, a, b)
+		out := Subtract(nil, a, b)
+		if len(in)+len(out) != len(a) {
+			return false
+		}
+		merged := append(append([]graph.VertexID{}, in...), out...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		for i := range a {
+			if merged[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBoundedSubsetOfIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSorted(rng, rng.Intn(80), 200)
+		b := randSorted(rng, rng.Intn(80), 200)
+		lo := graph.VertexID(rng.Intn(200))
+		hi := lo + graph.VertexID(rng.Intn(100))
+		got := IntersectBounded(nil, a, b, lo, hi)
+		full := Intersect(nil, a, b)
+		j := 0
+		for _, x := range full {
+			if x > lo && x < hi {
+				if j >= len(got) || got[j] != x {
+					return false
+				}
+				j++
+			}
+		}
+		return j == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersectMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSorted(rng, 1000, 100000)
+	y := randSorted(rng, 1000, 100000)
+	buf := make([]graph.VertexID, 0, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Intersect(buf[:0], x, y)
+	}
+}
+
+func BenchmarkIntersectGallop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSorted(rng, 30, 100000)
+	y := randSorted(rng, 50000, 1000000)
+	buf := make([]graph.VertexID, 0, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Intersect(buf[:0], x, y)
+	}
+}

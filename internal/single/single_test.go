@@ -1,0 +1,97 @@
+package single
+
+import (
+	"testing"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func TestAllSystemsMatchBruteForce(t *testing.T) {
+	g := graph.RMATDefault(100, 500, 101)
+	systems := []*Engine{AutomineIH(), PeregrineLike(), PangolinLike()}
+	for _, pat := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.Clique(4), pattern.CycleP(4), pattern.Clique(5),
+	} {
+		want := plan.BruteForceCount(g, pat, false)
+		for _, sys := range systems {
+			for _, threads := range []int{1, 4} {
+				res, err := sys.CountPattern(g, pat, false, threads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Count != want {
+					t.Errorf("%s %v threads=%d: %d, want %d",
+						sys.Name(), pat, threads, res.Count, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInducedCounts(t *testing.T) {
+	g := graph.RMATDefault(80, 400, 103)
+	for _, pat := range []*pattern.Pattern{pattern.CycleP(4), pattern.StarP(4)} {
+		want := plan.BruteForceCount(g, pat, true)
+		res, err := AutomineIH().CountPattern(g, pat, true, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("induced %v: %d, want %d", pat, res.Count, want)
+		}
+	}
+}
+
+func TestPangolinUsesOrientationOnlyForCliques(t *testing.T) {
+	// Orientation must not be applied to non-clique patterns (it would be
+	// incorrect); verify the 4-cycle count is right under PangolinLike.
+	g := graph.RMATDefault(90, 450, 107)
+	want := plan.BruteForceCount(g, pattern.CycleP(4), false)
+	res, err := PangolinLike().CountPattern(g, pattern.CycleP(4), false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("Pangolin 4-cycle: %d, want %d", res.Count, want)
+	}
+	// And induced cliques must not take the orientation path either.
+	wantInduced := plan.BruteForceCount(g, pattern.Triangle(), true)
+	res, err = PangolinLike().CountPattern(g, pattern.Triangle(), true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != wantInduced {
+		t.Fatalf("Pangolin induced triangle: %d, want %d", res.Count, wantInduced)
+	}
+}
+
+func TestCountMotifs(t *testing.T) {
+	g := graph.RMATDefault(60, 300, 109)
+	counts, total, err := AutomineIH().CountMotifs(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("3-motif pattern count = %d, want 2", len(counts))
+	}
+	var want uint64
+	for _, pat := range pattern.ConnectedPatterns(3) {
+		want += plan.BruteForceCount(g, pat, true)
+	}
+	if total.Count != want {
+		t.Fatalf("3-motif total = %d, want %d", total.Count, want)
+	}
+}
+
+func TestParallelCountAgreesWithSerial(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 113)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	serial := plan.CountGraph(pl, g)
+	for _, threads := range []int{2, 3, 8} {
+		if got := ParallelCount(pl, g, threads); got != serial {
+			t.Errorf("threads=%d: %d, want %d", threads, got, serial)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package khuzdul is the public API of the Khuzdul distributed graph
+// pattern mining engine — a from-scratch reproduction of "Khuzdul: Efficient
+// and Scalable Distributed Graph Pattern Mining Engine" (ASPLOS 2023).
+//
+// The library mines patterns (triangles, cliques, motifs, frequent labeled
+// subgraphs) over large graphs on a simulated multi-machine cluster: the
+// graph is 1-D hash partitioned across nodes, and each node runs the
+// Khuzdul engine — extendable embeddings scheduled with BFS-DFS hybrid
+// exploration, circulant communication batching, and GPM-specific data
+// reuse (vertical, horizontal, static cache).
+//
+// Quick start:
+//
+//	g := khuzdul.RMAT(100_000, 1_000_000, 42)
+//	eng, _ := khuzdul.Open(g, khuzdul.Config{Nodes: 8, Threads: 4})
+//	defer eng.Close()
+//	res, _ := eng.Triangles()
+//	fmt.Println(res.Count, res.Elapsed, res.TrafficBytes)
+package khuzdul
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"khuzdul/internal/apps"
+	"khuzdul/internal/cache"
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/fsm"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// Graph is an immutable in-memory undirected graph in CSR form.
+type Graph = graph.Graph
+
+// VertexID identifies a graph vertex.
+type VertexID = graph.VertexID
+
+// Label is a vertex label.
+type Label = graph.Label
+
+// Pattern is a small connected pattern graph to mine for.
+type Pattern = pattern.Pattern
+
+// System selects which ported client GPM system compiles the enumeration
+// schedule.
+type System = apps.System
+
+// Client system choices.
+const (
+	// Automine uses k-Automine's canonical greedy schedules.
+	Automine = apps.KAutomine
+	// GraphPi uses k-GraphPi's cost-model schedule search (default).
+	GraphPi = apps.KGraphPi
+)
+
+// Graph constructors and I/O, re-exported from the graph substrate.
+var (
+	// RMAT generates a skewed scale-free graph (n vertices, ~m edges).
+	RMAT = graph.RMATDefault
+	// Uniform generates an Erdős–Rényi-style random graph.
+	Uniform = graph.Uniform
+	// ReadEdgeList parses SNAP-style "u v" text.
+	ReadEdgeList = graph.ReadEdgeList
+	// ReadBinary reads the compact binary CSR format.
+	ReadBinary = graph.ReadBinary
+	// Orient converts a graph to a DAG by degree order (the orientation
+	// preprocessing for triangle/clique counting on skewed graphs).
+	Orient = graph.Orient
+	// RandomLabels draws uniform vertex labels for FSM workloads.
+	RandomLabels = graph.RandomLabels
+	// FromLabeledEdges builds an edge-labeled graph (the paper's §2.1
+	// extension, implemented here).
+	FromLabeledEdges = graph.FromLabeledEdges
+)
+
+// LabeledEdge is an undirected edge carrying an edge label.
+type LabeledEdge = graph.LabeledEdge
+
+// WriteEdgeList writes a graph as edge-list text.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// WriteBinary writes a graph in the binary CSR format.
+func WriteBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// ParsePattern resolves a pattern name ("triangle", "K5", "4-cycle",
+// "house", or an explicit "n:u-v,..." edge list).
+func ParsePattern(name string) (*Pattern, error) { return pattern.Parse(name) }
+
+// Clique returns the complete pattern on k vertices.
+func Clique(k int) *Pattern { return pattern.Clique(k) }
+
+// Config tunes the simulated cluster and per-node engines. The zero value
+// is a single node with one thread and no cache.
+type Config struct {
+	// Nodes is the number of simulated machines.
+	Nodes int
+	// Sockets is the NUMA socket count per machine (1 = no NUMA).
+	Sockets int
+	// Threads is the compute worker count per socket.
+	Threads int
+	// ChunkSize is the BFS-DFS chunk capacity in embeddings (0 = default).
+	ChunkSize int
+	// CacheFraction sizes the per-node static cache relative to the graph
+	// (paper: 0.05–0.15; 0 disables).
+	CacheFraction float64
+	// CachePolicy is "static" (default), "fifo", "lifo", "lru" or "mru".
+	CachePolicy string
+	// CacheDegreeThreshold is the static cache admission threshold.
+	CacheDegreeThreshold uint32
+	// DisableHDS turns off horizontal data sharing.
+	DisableHDS bool
+	// TCP routes all remote fetches through loopback TCP sockets instead of
+	// the in-process fabric.
+	TCP bool
+}
+
+// Result reports one mining run.
+type Result struct {
+	// Count is the number of embeddings found.
+	Count uint64
+	// Elapsed is the end-to-end wall time.
+	Elapsed time.Duration
+	// TrafficBytes is the exact remote-fetch traffic.
+	TrafficBytes uint64
+	// CacheHitRate is the static-cache hit rate in [0,1].
+	CacheHitRate float64
+	// Extensions is the number of fine-grained extension tasks executed.
+	Extensions uint64
+}
+
+func fromCluster(r cluster.Result) Result {
+	return Result{
+		Count:        r.Count,
+		Elapsed:      r.Elapsed,
+		TrafficBytes: r.Summary.BytesSent,
+		CacheHitRate: r.Summary.CacheHitRate(),
+		Extensions:   r.Summary.Extensions,
+	}
+}
+
+// Engine is an open mining session over one graph.
+type Engine struct {
+	c   *cluster.Cluster
+	sys System
+}
+
+// Open partitions g over a simulated cluster and returns a mining engine.
+func Open(g *Graph, cfg Config) (*Engine, error) {
+	pol, err := cache.ParsePolicy(cfg.CachePolicy)
+	if err != nil {
+		return nil, err
+	}
+	transport := cluster.TransportChan
+	if cfg.TCP {
+		transport = cluster.TransportTCP
+	}
+	c, err := cluster.New(g, cluster.Config{
+		NumNodes:             cfg.Nodes,
+		Sockets:              cfg.Sockets,
+		ThreadsPerSocket:     cfg.Threads,
+		ChunkSize:            cfg.ChunkSize,
+		DisableHDS:           cfg.DisableHDS,
+		CacheFraction:        cfg.CacheFraction,
+		CachePolicy:          pol,
+		CacheDegreeThreshold: cfg.CacheDegreeThreshold,
+		Transport:            transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{c: c, sys: GraphPi}, nil
+}
+
+// Close shuts the cluster down.
+func (e *Engine) Close() error { return e.c.Close() }
+
+// Graph returns the engine's input graph.
+func (e *Engine) Graph() *Graph { return e.c.Graph() }
+
+// SetSystem selects the client GPM system for subsequent runs.
+func (e *Engine) SetSystem(sys System) { e.sys = sys }
+
+// Triangles counts triangles.
+func (e *Engine) Triangles() (Result, error) {
+	r, err := apps.TriangleCount(e.c, e.sys)
+	return fromCluster(r), err
+}
+
+// Cliques counts k-cliques.
+func (e *Engine) Cliques(k int) (Result, error) {
+	r, err := apps.CliqueCount(e.c, k, e.sys)
+	return fromCluster(r), err
+}
+
+// MotifResult pairs a motif pattern with its induced embedding count.
+type MotifResult struct {
+	Pattern *Pattern
+	Count   uint64
+}
+
+// Motifs counts the induced embeddings of every connected size-k pattern
+// and the combined result.
+func (e *Engine) Motifs(k int) ([]MotifResult, Result, error) {
+	per, combined, err := apps.MotifCount(e.c, k, e.sys)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	pats := pattern.ConnectedPatterns(k)
+	out := make([]MotifResult, len(per))
+	for i := range per {
+		out[i] = MotifResult{Pattern: pats[i], Count: per[i].Count}
+	}
+	return out, fromCluster(combined), nil
+}
+
+// CountPattern counts embeddings of an arbitrary pattern; induced selects
+// motif semantics (non-edges must be absent).
+func (e *Engine) CountPattern(p *Pattern, induced bool) (Result, error) {
+	r, err := apps.PatternCount(e.c, p, e.sys, induced)
+	return fromCluster(r), err
+}
+
+// FrequentPattern is one FSM result: a labeled pattern and its MNI support.
+type FrequentPattern struct {
+	Pattern *Pattern
+	Support uint64
+}
+
+// MineFrequent runs frequent subgraph mining over a labeled graph: all
+// labeled patterns with at most maxEdges edges whose MNI support reaches
+// minSupport.
+func (e *Engine) MineFrequent(minSupport uint64, maxEdges int) ([]FrequentPattern, time.Duration, error) {
+	style := plan.StyleGraphPi
+	if e.sys == Automine {
+		style = plan.StyleAutomine
+	}
+	res, err := fsm.Mine(e.c, fsm.Config{MinSupport: minSupport, MaxEdges: maxEdges, Style: style})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]FrequentPattern, len(res.Frequent))
+	for i, fp := range res.Frequent {
+		out[i] = FrequentPattern{Pattern: fp.Pattern, Support: fp.Support}
+	}
+	return out, res.Elapsed, nil
+}
+
+// ExplainPattern compiles p the way the engine's current system would and
+// returns the schedule rendered as paper-style nested-loop pseudo-code.
+func (e *Engine) ExplainPattern(p *Pattern, induced bool) (string, error) {
+	pl, err := apps.Compile(e.sys, p, e.c.Graph(), apps.CompileOptions{Induced: induced})
+	if err != nil {
+		return "", err
+	}
+	return pl.Explain(), nil
+}
+
+// String describes the engine.
+func (e *Engine) String() string {
+	return fmt.Sprintf("khuzdul.Engine{%v, %d nodes}", e.sys, e.c.Config().NumNodes)
+}

@@ -1,0 +1,197 @@
+package khuzdul_test
+
+import (
+	"bytes"
+	"testing"
+
+	"khuzdul"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+func open(t *testing.T, g *khuzdul.Graph, cfg khuzdul.Config) *khuzdul.Engine {
+	t.Helper()
+	eng, err := khuzdul.Open(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func TestTrianglesPublicAPI(t *testing.T) {
+	g := khuzdul.RMAT(200, 1000, 7)
+	want := plan.BruteForceCount(g, pattern.Triangle(), false)
+	eng := open(t, g, khuzdul.Config{Nodes: 4, Threads: 2, CacheFraction: 0.1})
+	res, err := eng.Triangles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("Triangles = %d, want %d", res.Count, want)
+	}
+	if res.Elapsed <= 0 || res.Extensions == 0 {
+		t.Fatalf("metrics not populated: %+v", res)
+	}
+}
+
+func TestCliquesAndSystems(t *testing.T) {
+	g := khuzdul.RMAT(150, 800, 9)
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+	eng := open(t, g, khuzdul.Config{Nodes: 3, Threads: 2})
+	for _, sys := range []khuzdul.System{khuzdul.Automine, khuzdul.GraphPi} {
+		eng.SetSystem(sys)
+		res, err := eng.Cliques(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("%v Cliques(4) = %d, want %d", sys, res.Count, want)
+		}
+	}
+}
+
+func TestMotifsPublicAPI(t *testing.T) {
+	g := khuzdul.RMAT(100, 500, 11)
+	eng := open(t, g, khuzdul.Config{Nodes: 2, Threads: 2})
+	per, combined, err := eng.Motifs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 2 {
+		t.Fatalf("3-motifs: %d patterns", len(per))
+	}
+	var sum uint64
+	for _, m := range per {
+		if m.Pattern == nil {
+			t.Fatal("nil pattern in motif result")
+		}
+		sum += m.Count
+	}
+	if sum != combined.Count {
+		t.Fatalf("per-pattern sum %d != combined %d", sum, combined.Count)
+	}
+}
+
+func TestCountPatternByName(t *testing.T) {
+	g := khuzdul.RMAT(100, 600, 13)
+	p, err := khuzdul.ParsePattern("diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, p, true)
+	eng := open(t, g, khuzdul.Config{Nodes: 2, Threads: 2})
+	res, err := eng.CountPattern(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("induced diamond = %d, want %d", res.Count, want)
+	}
+}
+
+func TestMineFrequentPublicAPI(t *testing.T) {
+	g0 := khuzdul.RMAT(120, 500, 17)
+	g, err := g0.WithLabels(khuzdul.RandomLabels(120, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := open(t, g, khuzdul.Config{Nodes: 2, Threads: 2})
+	fps, elapsed, err := eng.MineFrequent(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	for _, fp := range fps {
+		if fp.Support < 5 {
+			t.Fatalf("support %d below threshold", fp.Support)
+		}
+	}
+}
+
+func TestTCPTransportPublicAPI(t *testing.T) {
+	g := khuzdul.RMAT(120, 600, 19)
+	want := plan.BruteForceCount(g, pattern.Triangle(), false)
+	eng := open(t, g, khuzdul.Config{Nodes: 3, Threads: 2, TCP: true})
+	res, err := eng.Triangles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("TCP Triangles = %d, want %d", res.Count, want)
+	}
+	if res.TrafficBytes == 0 {
+		t.Fatal("no traffic over TCP")
+	}
+}
+
+func TestGraphIORoundTripPublicAPI(t *testing.T) {
+	g := khuzdul.Uniform(100, 400, 21)
+	var buf bytes.Buffer
+	if err := khuzdul.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := khuzdul.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("binary round trip lost edges")
+	}
+}
+
+func TestOpenBadPolicy(t *testing.T) {
+	g := khuzdul.RMAT(50, 100, 23)
+	if _, err := khuzdul.Open(g, khuzdul.Config{CachePolicy: "bogus"}); err == nil {
+		t.Fatal("want error for bad cache policy")
+	}
+}
+
+func TestNUMAConfigPublicAPI(t *testing.T) {
+	g := khuzdul.RMAT(150, 800, 27)
+	want := plan.BruteForceCount(g, pattern.Triangle(), false)
+	eng := open(t, g, khuzdul.Config{Nodes: 2, Sockets: 2, Threads: 1, CacheFraction: 0.05})
+	res, err := eng.Triangles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("NUMA Triangles = %d, want %d", res.Count, want)
+	}
+}
+
+func TestTinyChunkPublicAPI(t *testing.T) {
+	g := khuzdul.RMAT(100, 500, 29)
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+	eng := open(t, g, khuzdul.Config{Nodes: 3, Threads: 2, ChunkSize: 8})
+	res, err := eng.Cliques(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("tiny-chunk Cliques(4) = %d, want %d", res.Count, want)
+	}
+}
+
+func TestEdgeLabeledGraphConstruction(t *testing.T) {
+	g, err := khuzdul.FromLabeledEdges(0, []khuzdul.LabeledEdge{
+		{U: 0, V: 1, Label: 3},
+		{U: 1, V: 2, Label: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.EdgeLabeled() || g.NumEdges() != 2 {
+		t.Fatalf("bad edge-labeled graph: %v", g)
+	}
+}
+
+func TestOrientedPublicAPI(t *testing.T) {
+	g := khuzdul.RMAT(200, 1200, 25)
+	dag := khuzdul.Orient(g)
+	if dag.NumDirectedEdges() != g.NumEdges() {
+		t.Fatal("orientation edge count mismatch")
+	}
+}
