@@ -105,6 +105,11 @@ func BenchmarkAblationMiniBatch(b *testing.B) { runExperiment(b, "ablation-minib
 // enumeration gap (the paper's §1 motivation).
 func BenchmarkAblationOblivious(b *testing.B) { runExperiment(b, "ablation-oblivious", 0.3) }
 
+// BenchmarkAblationChaos measures the resilience subsystem: retry/deadline
+// overhead when healthy, and exact-count recovery under injected transient
+// errors and a permanent node crash.
+func BenchmarkAblationChaos(b *testing.B) { runExperiment(b, "ablation-chaos", 0.3) }
+
 // BenchmarkEngineTriangles measures end-to-end engine throughput for
 // triangle counting on a fixed skewed graph (not tied to a paper exhibit;
 // useful for regression tracking).

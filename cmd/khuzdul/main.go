@@ -38,6 +38,9 @@ func main() {
 		cacheDeg  = flag.Uint("cache-threshold", 8, "static cache degree admission threshold")
 		noHDS     = flag.Bool("no-hds", false, "disable horizontal data sharing")
 		tcp       = flag.Bool("tcp", false, "use the loopback TCP fabric")
+		faultProf = flag.String("fault-profile", "", "deterministic fault injection spec, e.g. seed=7,err=0.05,latency=200us,crash=2@500 (empty disables)")
+		fetchTO   = flag.Duration("fetch-timeout", 0, "per-fetch-attempt timeout; enables the resilience layer (0 = default 250ms when enabled)")
+		retries   = flag.Int("retries", 0, "retry budget per fetch; enables the resilience layer (0 = default 5 when enabled)")
 		support   = flag.Uint64("support", 100, "FSM minimum support")
 		maxEdges  = flag.Int("max-edges", 3, "FSM maximum pattern edges")
 		labels    = flag.Int("labels", 0, "synthesize N random vertex labels (needed for fsm on unlabeled inputs)")
@@ -67,6 +70,9 @@ func main() {
 		CacheDegreeThreshold: uint32(*cacheDeg),
 		DisableHDS:           *noHDS,
 		TCP:                  *tcp,
+		FaultProfile:         *faultProf,
+		FetchTimeout:         *fetchTO,
+		FetchRetries:         *retries,
 	})
 	if err != nil {
 		fatal(err)
@@ -151,6 +157,10 @@ func report(res khuzdul.Result, err error) {
 	fmt.Printf("count: %d\nelapsed: %v\ntraffic: %s\ncache hit rate: %.1f%%\nextensions: %d\n",
 		res.Count, res.Elapsed, harness.FmtBytes(res.TrafficBytes),
 		100*res.CacheHitRate, res.Extensions)
+	if res.FaultsInjected > 0 || res.FetchRetries > 0 || res.RecoveryRounds > 0 {
+		fmt.Printf("resilience: %d faults injected, %d retries, %d recovery rounds, %d roots recovered, dead nodes %v\n",
+			res.FaultsInjected, res.FetchRetries, res.RecoveryRounds, res.RecoveredRoots, res.DeadNodes)
+	}
 }
 
 func loadGraph(spec string) (*khuzdul.Graph, error) {

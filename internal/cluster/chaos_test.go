@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"khuzdul/internal/fault"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/graphpi"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// chaosConfig is the shared shape of the chaos tests: small chunks so runs
+// checkpoint many root ranges, short timeouts so dead-peer detection is fast.
+func chaosConfig(prof *fault.Profile, transport Transport) Config {
+	return Config{
+		NumNodes:         4,
+		ThreadsPerSocket: 2,
+		ChunkSize:        8,
+		Transport:        transport,
+		Fault:            prof,
+		FetchTimeout:     50 * time.Millisecond,
+		FetchRetries:     5,
+		RetryBackoff:     200 * time.Microsecond,
+		BreakerThreshold: 3,
+	}
+}
+
+// TestChaosTransientErrorsExactCounts injects transient fetch errors on every
+// connection pair; the retry layer must absorb them all (or task-level
+// recovery must mop up retry exhaustion) with counts identical to the
+// fault-free run.
+func TestChaosTransientErrorsExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	c := mustCluster(t, g, chaosConfig(&fault.Profile{Seed: 7, ErrorRate: 0.2}, TransportChan))
+	res, err := c.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("count under transient faults = %d, want %d", res.Count, want)
+	}
+	s := res.Summary
+	if s.FaultsInjected == 0 {
+		t.Fatal("no faults injected despite 20% error rate")
+	}
+	if s.FetchRetries == 0 {
+		t.Fatal("no retries recorded despite injected errors")
+	}
+}
+
+// TestChaosCrashRecoveryExactCounts is the headline chaos scenario: transient
+// errors everywhere plus one permanent node crash mid-run. The run must
+// complete with counts identical to the fault-free run, report the dead node,
+// and show recovery work in the metrics.
+func TestChaosCrashRecoveryExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	for name, transport := range map[string]Transport{"chan": TransportChan, "tcp": TransportTCP} {
+		t.Run(name, func(t *testing.T) {
+			prof := &fault.Profile{
+				Seed:      11,
+				ErrorRate: 0.05,
+				Crashes:   []fault.Crash{{Node: 1, After: 10}},
+			}
+			c := mustCluster(t, g, chaosConfig(prof, transport))
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count under crash = %d, want %d", res.Count, want)
+			}
+			if res.RecoveryRounds == 0 {
+				t.Fatal("crash run reported no recovery rounds")
+			}
+			found := false
+			for _, n := range res.DeadNodes {
+				if n == 1 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("DeadNodes = %v, want to include crashed node 1", res.DeadNodes)
+			}
+			s := res.Summary
+			if s.RecoveredRoots == 0 {
+				t.Fatal("no recovered roots recorded")
+			}
+			if s.FetchTimeouts == 0 {
+				t.Fatal("no fetch timeouts recorded despite a hung crashed node")
+			}
+			if s.BreakerTrips == 0 {
+				t.Fatal("breaker never tripped despite a dead peer")
+			}
+		})
+	}
+}
+
+// TestChaosCrashDeterministicGivenSeed repeats the crash scenario with the
+// same seed: both runs must converge to the same (correct) count and agree
+// on the dead set.
+func TestChaosCrashDeterministicGivenSeed(t *testing.T) {
+	g := graph.RMATDefault(120, 700, 41)
+	pl, err := graphpi.Compile(pattern.Triangle(), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Triangle(), false)
+
+	run := func() Result {
+		prof := &fault.Profile{Seed: 3, ErrorRate: 0.1, Crashes: []fault.Crash{{Node: 2, After: 5}}}
+		c := mustCluster(t, g, chaosConfig(prof, TransportChan))
+		res, err := c.Count(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Count != want || b.Count != want {
+		t.Fatalf("counts %d, %d, want %d", a.Count, b.Count, want)
+	}
+	if len(a.DeadNodes) != len(b.DeadNodes) {
+		t.Fatalf("dead sets differ across identical seeds: %v vs %v", a.DeadNodes, b.DeadNodes)
+	}
+}
+
+// TestResilientNoFaultsNoEvents turns the resilience layer on without a fault
+// profile: results must be untouched and no resilience events recorded.
+func TestResilientNoFaultsNoEvents(t *testing.T) {
+	g := graph.RMATDefault(120, 700, 41)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	c := mustCluster(t, g, Config{NumNodes: 4, ThreadsPerSocket: 2, Resilient: true})
+	res, err := c.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("resilient healthy count = %d, want %d", res.Count, want)
+	}
+	if res.RecoveryRounds != 0 || len(res.DeadNodes) != 0 {
+		t.Fatalf("healthy run reported recovery: rounds=%d dead=%v", res.RecoveryRounds, res.DeadNodes)
+	}
+	s := res.Summary
+	if s.FetchRetries != 0 || s.FetchTimeouts != 0 || s.BreakerTrips != 0 || s.FaultsInjected != 0 || s.RecoveredRoots != 0 {
+		t.Fatalf("healthy run recorded resilience events: %+v", s)
+	}
+}
+
+// TestChaosCountAllSurvivesCrash runs motif counting (several plans back to
+// back on one cluster) across a crash: the first plan's run kills the node,
+// later plans start with the node already dead and must still be exact.
+func TestChaosCountAllSurvivesCrash(t *testing.T) {
+	g := graph.RMATDefault(100, 500, 43)
+	plans, err := graphpi.CompileMotifs(3, g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, pat := range pattern.ConnectedPatterns(3) {
+		want += plan.BruteForceCount(g, pat, true)
+	}
+	prof := &fault.Profile{Seed: 5, ErrorRate: 0.02, Crashes: []fault.Crash{{Node: 3, After: 10}}}
+	c := mustCluster(t, g, chaosConfig(prof, TransportChan))
+	_, combined, err := c.CountAll(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Count != want {
+		t.Fatalf("motif total under crash = %d, want %d", combined.Count, want)
+	}
+	if len(combined.DeadNodes) == 0 {
+		t.Fatal("no dead nodes reported across motif runs")
+	}
+}

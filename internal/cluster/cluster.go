@@ -8,12 +8,14 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"khuzdul/internal/cache"
 	"khuzdul/internal/comm"
 	"khuzdul/internal/core"
+	"khuzdul/internal/fault"
 	"khuzdul/internal/graph"
 	"khuzdul/internal/metrics"
 	"khuzdul/internal/partition"
@@ -67,6 +69,29 @@ type Config struct {
 	// simulated workers, which makes ModeledElapsed trustworthy. Elapsed
 	// then approximates the cluster's total CPU work.
 	SequentialNodes bool
+
+	// Fault injects deterministic faults (transient fetch errors, latency,
+	// permanent node crashes) into the fabric. Nil disables injection and
+	// adds zero overhead. A non-nil profile implies Resilient.
+	Fault *fault.Profile
+	// Resilient enables the retry/deadline/circuit-breaker fetch layer and
+	// task-level recovery even without a fault profile (e.g. for real
+	// networks). Implied by Fault, FetchTimeout, FetchRetries or
+	// BreakerThreshold being set.
+	Resilient bool
+	// FetchTimeout bounds each fetch attempt (default 250ms when resilience
+	// is enabled).
+	FetchTimeout time.Duration
+	// FetchRetries is the number of retry attempts per fetch after the
+	// first (default 5 when resilience is enabled).
+	FetchRetries int
+	// RetryBackoff is the initial retry backoff; it doubles per attempt
+	// with deterministic jitter (default 1ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold is the number of consecutive timed-out fetches to
+	// one peer after which it is declared dead and task-level recovery
+	// takes over its unfinished source ranges (default 3).
+	BreakerThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +107,20 @@ func (c Config) withDefaults() Config {
 	if c.CacheDegreeThreshold == 0 {
 		c.CacheDegreeThreshold = 64
 	}
+	if c.Fault != nil || c.FetchTimeout > 0 || c.FetchRetries > 0 || c.BreakerThreshold > 0 {
+		c.Resilient = true
+	}
+	if c.Resilient {
+		if c.FetchTimeout <= 0 {
+			c.FetchTimeout = 250 * time.Millisecond
+		}
+		if c.FetchRetries <= 0 {
+			c.FetchRetries = 5
+		}
+		if c.BreakerThreshold <= 0 {
+			c.BreakerThreshold = 3
+		}
+	}
 	return c
 }
 
@@ -93,6 +132,10 @@ type Cluster struct {
 	locals []*partition.Local
 	met    *metrics.Cluster
 	fabric comm.Fabric
+	// injector and resilient are the fault-injection and retry layers of
+	// the fabric stack; nil when resilience is disabled.
+	injector  *fault.Injector
+	resilient *comm.Resilient
 }
 
 // New partitions g across the configured machines and opens the fabric.
@@ -113,20 +156,70 @@ func New(g *graph.Graph, cfg Config) (*Cluster, error) {
 			return out
 		})
 	}
+	c := &Cluster{g: g, cfg: cfg, asg: asg, locals: locals, met: met}
+	fabric, err := c.buildFabric(servers)
+	if err != nil {
+		return nil, err
+	}
+	c.fabric = fabric
+	return c, nil
+}
+
+// buildFabric assembles the fabric stack for one set of servers: the base
+// transport, optionally wrapped by the fault injector, optionally wrapped by
+// the retry/deadline/breaker layer. The same stack shape is rebuilt for
+// recovery rounds, sharing the injector's fault state and the known-dead
+// verdicts so crashes persist across rounds.
+func (c *Cluster) buildFabric(servers []comm.Server) (comm.Fabric, error) {
 	var fabric comm.Fabric
-	var err error
-	switch cfg.Transport {
+	switch c.cfg.Transport {
 	case TransportChan:
-		fabric = comm.NewLocal(servers, met)
+		fabric = comm.NewLocal(servers, c.met)
 	case TransportTCP:
-		fabric, err = comm.NewTCP(servers, met)
+		t, err := comm.NewTCP(servers, c.met)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
+		if c.cfg.FetchTimeout > 0 {
+			// Bound every socket operation by the fetch deadline so a hung
+			// peer releases the connection promptly.
+			t.SetIOTimeout(c.cfg.FetchTimeout)
+		}
+		fabric = t
 	default:
-		return nil, fmt.Errorf("cluster: unknown transport %d", cfg.Transport)
+		return nil, fmt.Errorf("cluster: unknown transport %d", c.cfg.Transport)
 	}
-	return &Cluster{g: g, cfg: cfg, asg: asg, locals: locals, met: met, fabric: fabric}, nil
+	if c.cfg.Fault != nil && !c.cfg.Fault.Zero() {
+		if c.injector == nil {
+			c.injector = fault.NewInjector(*c.cfg.Fault, c.cfg.NumNodes, c.met)
+		}
+		fabric = c.injector.Wrap(fabric)
+	}
+	if c.cfg.Resilient {
+		r := comm.NewResilient(fabric, c.cfg.NumNodes, comm.RetryConfig{
+			Timeout:          c.cfg.FetchTimeout,
+			Retries:          c.cfg.FetchRetries,
+			Backoff:          c.cfg.RetryBackoff,
+			BreakerThreshold: c.cfg.BreakerThreshold,
+			Seed:             seedOf(c.cfg.Fault),
+		}, c.met)
+		if c.resilient != nil {
+			for _, n := range c.resilient.DeadNodes() {
+				r.MarkDead(n)
+			}
+		}
+		c.resilient = r
+		fabric = r
+	}
+	return fabric, nil
+}
+
+// seedOf extracts the jitter seed from an optional fault profile.
+func seedOf(p *fault.Profile) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.Seed
 }
 
 // Close releases the fabric.
@@ -164,6 +257,12 @@ type Result struct {
 	Summary metrics.Summary
 	// PerNode is each machine's runtime breakdown.
 	PerNode []metrics.Breakdown
+	// RecoveryRounds is the number of task-level recovery rounds the run
+	// needed after fetch failures (0 on a healthy run).
+	RecoveryRounds int
+	// DeadNodes lists the machines declared dead during the run — crashed by
+	// fault injection or declared dead by the circuit breaker — ascending.
+	DeadNodes []int
 }
 
 // Run executes one plan over the cluster. sinkFactory supplies the
@@ -192,6 +291,16 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 	var wg sync.WaitGroup
 	sinks := make([]core.Sink, 0, c.cfg.NumNodes*c.cfg.Sockets)
 	errs := make([]error, c.cfg.NumNodes*c.cfg.Sockets)
+	// Range trackers checkpoint each engine's completed source-vertex prefix
+	// (and the count committed at that point) so task-level recovery can
+	// re-execute only unfinished roots. Allocated only under resilience;
+	// entries stay nil for sinks that are not counting sinks, which makes
+	// that slot unrecoverable (recovery dedup needs committed-count
+	// snapshots).
+	var trackers []*rangeTracker
+	if c.cfg.Resilient {
+		trackers = make([]*rangeTracker, c.cfg.NumNodes*c.cfg.Sockets)
+	}
 	var engines []*core.Engine
 	for node := 0; node < c.cfg.NumNodes; node++ {
 		for socket := 0; socket < c.cfg.Sockets; socket++ {
@@ -207,6 +316,15 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 			}
 			sink := sinkFactory(node, socket)
 			sinks = append(sinks, sink)
+			slot := node*c.cfg.Sockets + socket
+			var onRange func(start, end int)
+			if trackers != nil {
+				if cs, ok := sink.(*core.CountSink); ok {
+					tr := &rangeTracker{sink: cs}
+					trackers[slot] = tr
+					onRange = tr.onRangeDone
+				}
+			}
 			ext := core.NewPlanExtender(pl, labelOf)
 			ext.EdgeLabelOf = edgeLabelOf
 			eng := core.NewEngine(ext, src, sink, core.Config{
@@ -218,13 +336,13 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 				StrictPipeline: c.cfg.StrictPipeline,
 				Cache:          ca,
 				Metrics:        c.met.Nodes[node],
+				OnRangeDone:    onRange,
 			})
 			if c.cfg.SequentialNodes {
 				engines = append(engines, eng)
 				continue
 			}
 			wg.Add(1)
-			slot := node*c.cfg.Sockets + socket
 			go func() {
 				defer wg.Done()
 				errs[slot] = eng.Run()
@@ -238,15 +356,44 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 	} else {
 		wg.Wait()
 	}
-	elapsed := time.Since(start)
+
+	// Classify failures: a fetch failure caused by a dead peer, exhausted
+	// retries or an injected crash is recoverable when every slot has a
+	// committed-count checkpoint; anything else aborts the run.
+	recovering := false
 	for slot, err := range errs {
-		if err != nil {
-			return Result{}, fmt.Errorf("cluster: node %d socket %d: %w",
-				slot/c.cfg.Sockets, slot%c.cfg.Sockets, err)
+		if err == nil {
+			continue
 		}
+		if recoverableError(err) && allTracked(trackers) {
+			recovering = true
+			continue
+		}
+		return Result{}, fmt.Errorf("cluster: node %d socket %d: %w",
+			slot/c.cfg.Sockets, slot%c.cfg.Sockets, err)
 	}
 
-	res := Result{Elapsed: elapsed, Summary: c.met.Summarize()}
+	res := Result{}
+	if recovering {
+		rec, err := c.recoverRun(pl, labelOf, edgeLabelOf, trackers, errs)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Count = rec.count
+		res.RecoveryRounds = rec.rounds
+		res.DeadNodes = rec.dead
+	} else {
+		for _, s := range sinks {
+			if cs, ok := s.(*core.CountSink); ok {
+				res.Count += cs.Count()
+			}
+		}
+		if c.cfg.Resilient {
+			res.DeadNodes = c.deadNodes()
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Summary = c.met.Summarize()
 	workers := c.cfg.Sockets * c.cfg.ThreadsPerSocket
 	for _, n := range c.met.Nodes {
 		b := n.Breakdown()
@@ -255,11 +402,6 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 			(b.Scheduler+b.Cache)/time.Duration(c.cfg.Sockets)
 		if modeled > res.ModeledElapsed {
 			res.ModeledElapsed = modeled
-		}
-	}
-	for _, s := range sinks {
-		if cs, ok := s.(*core.CountSink); ok {
-			res.Count += cs.Count()
 		}
 	}
 	return res, nil
@@ -293,8 +435,31 @@ func (c *Cluster) CountAll(pls []*plan.Plan) ([]Result, Result, error) {
 		combined.Summary.HDSHits += r.Summary.HDSHits
 		combined.Summary.Extensions += r.Summary.Extensions
 		combined.Summary.Matches += r.Summary.Matches
+		combined.Summary.FetchRetries += r.Summary.FetchRetries
+		combined.Summary.FetchTimeouts += r.Summary.FetchTimeouts
+		combined.Summary.BreakerTrips += r.Summary.BreakerTrips
+		combined.Summary.FaultsInjected += r.Summary.FaultsInjected
+		combined.Summary.RecoveredRoots += r.Summary.RecoveredRoots
+		combined.RecoveryRounds += r.RecoveryRounds
+		combined.DeadNodes = unionNodes(combined.DeadNodes, r.DeadNodes)
 	}
 	return results, combined, nil
+}
+
+// unionNodes merges two ascending node-ID lists without duplicates.
+func unionNodes(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, lst := range [][]int{a, b} {
+		for _, n := range lst {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // nodeSource adapts one machine's partition + fabric to the engine's

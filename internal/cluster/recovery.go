@@ -1,0 +1,319 @@
+// Task-level failure recovery. The engine's chunk lifecycle (§3.3) makes all
+// in-flight work re-derivable from source vertices: every match descends from
+// exactly one root, and an engine explores its roots in contiguous ranges
+// that complete strictly in order. The driver therefore checkpoints, per
+// engine slot, just two integers — the completed-root prefix and the match
+// count committed at that point. On a fetch failure caused by a dead peer the
+// driver re-partitions the dead machines' shards across survivors (served
+// from the full in-process graph, standing in for shard reload on a real
+// cluster) and re-executes only the unfinished roots. Counts stay exact
+// because partial work past a checkpoint is discarded with the snapshot and
+// every pending root is re-executed on exactly one survivor.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"khuzdul/internal/comm"
+	"khuzdul/internal/core"
+	"khuzdul/internal/fault"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/partition"
+	"khuzdul/internal/plan"
+)
+
+// maxRecoveryRounds bounds cascading failovers (each round can itself lose
+// nodes); exceeding it means the cluster is too degraded to finish.
+const maxRecoveryRounds = 8
+
+// rangeTracker is one engine slot's checkpoint: the prefix of its root list
+// explored to completion and the sink count committed at that point. Written
+// by the engine goroutine via OnRangeDone, read by the driver only after the
+// engine has finished (ordered by WaitGroup), so no locking is needed.
+type rangeTracker struct {
+	sink      *core.CountSink
+	prefix    int
+	committed uint64
+}
+
+func (t *rangeTracker) onRangeDone(start, end int) {
+	t.prefix = end
+	t.committed = t.sink.Count()
+}
+
+// recoverableError reports whether a fetch failure can be repaired by
+// re-executing unfinished roots: the peer was declared dead, retries ran out
+// (a transient-error storm), or fault injection crashed a node.
+func recoverableError(err error) bool {
+	return errors.Is(err, comm.ErrPeerDead) ||
+		errors.Is(err, comm.ErrRetriesExhausted) ||
+		errors.Is(err, fault.ErrNodeCrashed)
+}
+
+// allTracked reports whether every engine slot has a checkpoint, the
+// precondition for exact-count recovery.
+func allTracked(trs []*rangeTracker) bool {
+	if trs == nil {
+		return false
+	}
+	for _, t := range trs {
+		if t == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// rootsOf recomputes the root list of one engine slot, identical to what its
+// nodeSource served during the run.
+func (c *Cluster) rootsOf(node, socket int) []graph.VertexID {
+	if c.asg.NumSockets() > 1 {
+		return c.locals[node].SocketVertices(socket)
+	}
+	return c.locals[node].OwnedVertices()
+}
+
+// deadNodes returns the union of breaker-declared and crash-injected dead
+// machines, ascending.
+func (c *Cluster) deadNodes() []int {
+	seen := make(map[int]bool)
+	if c.resilient != nil {
+		for _, n := range c.resilient.DeadNodes() {
+			seen[n] = true
+		}
+	}
+	if c.injector != nil {
+		for _, n := range c.injector.CrashedNodes() {
+			seen[n] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := 0; n < c.cfg.NumNodes; n++ {
+		if seen[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// failover routes vertices like the base assignment but re-partitions the
+// shards of dead machines across survivors with an independent hash.
+type failover struct {
+	asg   partition.Assignment
+	alive []int
+	dead  []bool
+}
+
+func newFailover(asg partition.Assignment, deadNodes []int) *failover {
+	f := &failover{asg: asg, dead: make([]bool, asg.NumNodes())}
+	for _, n := range deadNodes {
+		f.dead[n] = true
+	}
+	for n := 0; n < asg.NumNodes(); n++ {
+		if !f.dead[n] {
+			f.alive = append(f.alive, n)
+		}
+	}
+	return f
+}
+
+func (f *failover) Owner(v graph.VertexID) int {
+	if o := f.asg.Owner(v); !f.dead[o] {
+		return o
+	}
+	h := uint64(v)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return f.alive[h%uint64(len(f.alive))]
+}
+
+// recoverySource is the DataSource of a recovery engine: an explicit root
+// list on one survivor, failover ownership for fetch routing, and the full
+// graph for locally-owned lists (the re-partitioned shard). Recovery engines
+// are per-machine, not per-socket, so there is no cross-socket locality.
+type recoverySource struct {
+	g      *graph.Graph
+	fo     *failover
+	node   int
+	roots  []graph.VertexID
+	fabric comm.Fabric
+}
+
+func (s *recoverySource) Classify(v graph.VertexID) (core.Locality, int) {
+	owner := s.fo.Owner(v)
+	if owner != s.node {
+		return core.LocalityRemote, owner
+	}
+	return core.LocalityLocal, owner
+}
+
+// LocalList serves from the full graph: recovery roots inherited from a dead
+// machine count as local shard data, exactly as if the survivor had reloaded
+// that shard from storage.
+func (s *recoverySource) LocalList(v graph.VertexID) []graph.VertexID { return s.g.Neighbors(v) }
+
+func (s *recoverySource) CrossSocketList(v graph.VertexID) []graph.VertexID {
+	return s.g.Neighbors(v)
+}
+
+func (s *recoverySource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	return s.fabric.Fetch(s.node, owner, ids)
+}
+
+func (s *recoverySource) NumNodes() int                      { return s.fo.asg.NumNodes() }
+func (s *recoverySource) LocalNode() int                     { return s.node }
+func (s *recoverySource) Roots() []graph.VertexID            { return s.roots }
+func (s *recoverySource) Label(v graph.VertexID) graph.Label { return s.g.Label(v) }
+
+// recovery is the outcome of the recovery protocol: committed counts from
+// the failed run plus all recovery rounds, the round count, and the final
+// dead set.
+type recovery struct {
+	count  uint64
+	rounds int
+	dead   []int
+}
+
+// recoverRun commits every slot's checkpoint, then re-executes unfinished
+// roots on survivors until none remain. Partial counts past a checkpoint are
+// deliberately discarded (they are not in the committed snapshots), which is
+// what keeps re-execution exact.
+func (c *Cluster) recoverRun(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf plan.EdgeLabelFunc,
+	trackers []*rangeTracker, errs []error) (recovery, error) {
+	var rec recovery
+	var pending []graph.VertexID
+	for slot, tr := range trackers {
+		rec.count += tr.committed
+		if errs[slot] == nil {
+			continue
+		}
+		roots := c.rootsOf(slot/c.cfg.Sockets, slot%c.cfg.Sockets)
+		pending = append(pending, roots[tr.prefix:]...)
+	}
+	for len(pending) > 0 {
+		rec.rounds++
+		if rec.rounds > maxRecoveryRounds {
+			return rec, fmt.Errorf("cluster: recovery did not converge after %d rounds (%d roots pending)",
+				maxRecoveryRounds, len(pending))
+		}
+		var err error
+		pending, err = c.recoveryRound(pl, labelOf, edgeLabelOf, &rec, pending)
+		if err != nil {
+			return rec, err
+		}
+	}
+	rec.dead = c.deadNodes()
+	return rec, nil
+}
+
+// recoveryRound runs one failover round: re-partition dead shards, spread
+// pending roots over survivors, run one recovery engine per survivor on a
+// fresh fabric stack (sharing the fault injector's state and prior dead
+// verdicts), and return the roots still unfinished after this round.
+func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf plan.EdgeLabelFunc,
+	rec *recovery, pending []graph.VertexID) ([]graph.VertexID, error) {
+	dead := c.deadNodes()
+	fo := newFailover(c.asg, dead)
+	if len(fo.alive) == 0 {
+		return nil, errors.New("cluster: no surviving nodes to recover onto")
+	}
+
+	// Survivors serve everything they own under failover from the full graph;
+	// dead machines' servers must never be reached, since failover routes
+	// around them.
+	servers := make([]comm.Server, c.cfg.NumNodes)
+	for node := 0; node < c.cfg.NumNodes; node++ {
+		node := node
+		if fo.dead[node] {
+			servers[node] = comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+				panic(fmt.Sprintf("cluster: recovery fetch routed to dead node %d", node))
+			})
+			continue
+		}
+		servers[node] = comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+			out := make([][]graph.VertexID, len(ids))
+			for i, id := range ids {
+				if fo.Owner(id) != node {
+					panic(fmt.Sprintf("cluster: recovery node %d asked for vertex %d (failover owner %d)",
+						node, id, fo.Owner(id)))
+				}
+				out[i] = c.g.Neighbors(id)
+			}
+			return out
+		})
+	}
+	fabric, err := c.buildFabric(servers)
+	if err != nil {
+		return nil, err
+	}
+	defer fabric.Close()
+	if c.resilient != nil {
+		// Carry crash-injected deaths into the breaker so any stray fetch
+		// fails fast instead of timing out.
+		for _, n := range dead {
+			c.resilient.MarkDead(n)
+		}
+	}
+
+	assigned := make([][]graph.VertexID, len(fo.alive))
+	for i, v := range pending {
+		assigned[i%len(fo.alive)] = append(assigned[i%len(fo.alive)], v)
+	}
+
+	trs := make([]*rangeTracker, len(fo.alive))
+	errs := make([]error, len(fo.alive))
+	var wg sync.WaitGroup
+	for i, node := range fo.alive {
+		if len(assigned[i]) == 0 {
+			continue
+		}
+		sink := &core.CountSink{}
+		tr := &rangeTracker{sink: sink}
+		trs[i] = tr
+		ext := core.NewPlanExtender(pl, labelOf)
+		ext.EdgeLabelOf = edgeLabelOf
+		eng := core.NewEngine(ext, &recoverySource{
+			g: c.g, fo: fo, node: node, roots: assigned[i], fabric: fabric,
+		}, sink, core.Config{
+			ChunkSize:      c.cfg.ChunkSize,
+			Threads:        c.cfg.Sockets * c.cfg.ThreadsPerSocket,
+			MiniBatch:      c.cfg.MiniBatch,
+			FlushSize:      c.cfg.FlushSize,
+			HDS:            !c.cfg.DisableHDS,
+			StrictPipeline: c.cfg.StrictPipeline,
+			Metrics:        c.met.Nodes[node],
+			OnRangeDone:    tr.onRangeDone,
+		})
+		if c.cfg.SequentialNodes {
+			errs[i] = eng.Run()
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = eng.Run()
+		}(i)
+	}
+	wg.Wait()
+
+	var next []graph.VertexID
+	for i, node := range fo.alive {
+		tr := trs[i]
+		if tr == nil {
+			continue
+		}
+		rec.count += tr.committed
+		c.met.Nodes[node].RecoveredRoots.Add(uint64(tr.prefix))
+		if errs[i] == nil {
+			continue
+		}
+		if !recoverableError(errs[i]) {
+			return nil, fmt.Errorf("cluster: recovery on node %d: %w", node, errs[i])
+		}
+		next = append(next, assigned[i][tr.prefix:]...)
+	}
+	return next, nil
+}

@@ -1,0 +1,150 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/partition"
+)
+
+// graphForComm returns the standard small test graph for fabric tests.
+func graphForComm(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.RMATDefault(200, 800, 3)
+}
+
+// serversForComm partitions g over n nodes and returns the assignment,
+// per-node servers and a fresh metrics cluster.
+func serversForComm(g *graph.Graph, n int) (partition.Assignment, []Server, *metrics.Cluster) {
+	asg := partition.NewAssignment(n, 1)
+	return asg, testServers(g, asg), metrics.NewCluster(n)
+}
+
+// hammer issues the same deterministic fetch workload against a fabric from
+// many goroutines and returns a per-vertex checksum of the results. The
+// workload is identical across fabrics, so checksums and accounted byte
+// totals must match between transports.
+func hammer(t *testing.T, f Fabric, g *graph.Graph, asg partition.Assignment, workers int) []uint64 {
+	t.Helper()
+	sums := make([]uint64, g.NumVertices())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker fetches a strided slice of the vertex set, batching
+			// per owner the way the engine's circulant batches do.
+			byOwner := make(map[int][]graph.VertexID)
+			for v := w; v < g.NumVertices(); v += workers {
+				id := graph.VertexID(v)
+				byOwner[asg.Owner(id)] = append(byOwner[asg.Owner(id)], id)
+			}
+			for owner, batch := range byOwner {
+				from := (owner + 1 + w%(asg.NumNodes()-1)) % asg.NumNodes()
+				if from == owner {
+					from = (from + 1) % asg.NumNodes()
+				}
+				lists, err := f.Fetch(from, owner, batch)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(lists) != len(batch) {
+					errCh <- fmt.Errorf("batch of %d returned %d lists", len(batch), len(lists))
+					return
+				}
+				mu.Lock()
+				for i, id := range batch {
+					var sum uint64
+					for _, nb := range lists[i] {
+						sum = sum*31 + uint64(nb) + 1
+					}
+					sums[id] = sum
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	return sums
+}
+
+// TestFabricsEquivalentUnderConcurrency extends the single-threaded
+// equivalence test: many goroutines hammer the Local and TCP fabrics with
+// the same workload; results and accounted byte totals must be identical.
+// Run under -race this also proves both fabrics' internal synchronization.
+func TestFabricsEquivalentUnderConcurrency(t *testing.T) {
+	const nodes, workers = 4, 24
+	g := graphForComm(t)
+
+	asg, servers, mLocal := serversForComm(g, nodes)
+	fl := NewLocal(servers, mLocal)
+	defer fl.Close()
+	localSums := hammer(t, fl, g, asg, workers)
+
+	_, servers2, mTCP := serversForComm(g, nodes)
+	ft, err := NewTCP(servers2, mTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+	tcpSums := hammer(t, ft, g, asg, workers)
+
+	for v := range localSums {
+		if localSums[v] != tcpSums[v] {
+			t.Fatalf("vertex %d: local checksum %d, tcp %d", v, localSums[v], tcpSums[v])
+		}
+	}
+	a, b := mLocal.Summarize(), mTCP.Summarize()
+	if a.BytesSent != b.BytesSent {
+		t.Fatalf("accounted bytes differ: local %d, tcp %d", a.BytesSent, b.BytesSent)
+	}
+	if a.Messages != b.Messages {
+		t.Fatalf("accounted messages differ: local %d, tcp %d", a.Messages, b.Messages)
+	}
+	if a.BytesSent == 0 {
+		t.Fatal("no traffic accounted")
+	}
+}
+
+// TestResilientFabricEquivalentUnderConcurrency runs the same concurrent
+// workload through the resilient layer over both transports: the resilience
+// machinery must not change results or accounting on a healthy cluster.
+func TestResilientFabricEquivalentUnderConcurrency(t *testing.T) {
+	const nodes, workers = 3, 16
+	g := graphForComm(t)
+
+	asg, servers, mLocal := serversForComm(g, nodes)
+	rl := NewResilient(NewLocal(servers, mLocal), nodes, RetryConfig{Timeout: 5e9, Retries: 2}, mLocal)
+	defer rl.Close()
+	localSums := hammer(t, rl, g, asg, workers)
+
+	_, servers2, mTCP := serversForComm(g, nodes)
+	tf, err := NewTCP(servers2, mTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewResilient(tf, nodes, RetryConfig{Timeout: 5e9, Retries: 2}, mTCP)
+	defer rt.Close()
+	tcpSums := hammer(t, rt, g, asg, workers)
+
+	for v := range localSums {
+		if localSums[v] != tcpSums[v] {
+			t.Fatalf("vertex %d: local checksum %d, tcp %d", v, localSums[v], tcpSums[v])
+		}
+	}
+	a, b := mLocal.Summarize(), mTCP.Summarize()
+	if a.BytesSent != b.BytesSent || a.Messages != b.Messages {
+		t.Fatalf("resilient accounting differs: local %d/%d, tcp %d/%d",
+			a.BytesSent, a.Messages, b.BytesSent, b.Messages)
+	}
+}

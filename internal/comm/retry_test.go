@@ -1,0 +1,179 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+)
+
+// flakyFabric fails the first failN fetches to each destination with a
+// transient error, then succeeds.
+type flakyFabric struct {
+	failN  int64
+	calls  []atomic.Int64
+	hangTo int // destination whose fetches hang forever (-1 = none)
+	hung   chan struct{}
+}
+
+func newFlakyFabric(nodes int, failN int64, hangTo int) *flakyFabric {
+	return &flakyFabric{failN: failN, calls: make([]atomic.Int64, nodes), hangTo: hangTo, hung: make(chan struct{})}
+}
+
+func (f *flakyFabric) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	if to == f.hangTo {
+		<-f.hung
+		return nil, errors.New("flaky: released")
+	}
+	if n := f.calls[to].Add(1); n <= f.failN {
+		return nil, fmt.Errorf("flaky: transient failure %d to node %d", n, to)
+	}
+	return make([][]graph.VertexID, len(ids)), nil
+}
+
+func (f *flakyFabric) Close() error {
+	select {
+	case <-f.hung:
+	default:
+		close(f.hung)
+	}
+	return nil
+}
+
+type permErr struct{}
+
+func (permErr) Error() string   { return "perm" }
+func (permErr) Permanent() bool { return true }
+
+// permFabric always fails with a permanent error.
+type permFabric struct{ calls atomic.Int64 }
+
+func (f *permFabric) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	f.calls.Add(1)
+	return nil, fmt.Errorf("wrapped: %w", permErr{})
+}
+func (f *permFabric) Close() error { return nil }
+
+func TestResilientRetriesTransientErrors(t *testing.T) {
+	m := metrics.NewCluster(2)
+	inner := newFlakyFabric(2, 2, -1)
+	r := NewResilient(inner, 2, RetryConfig{Retries: 4, Backoff: time.Microsecond}, m)
+	defer r.Close()
+	lists, err := r.Fetch(0, 1, []graph.VertexID{1, 2})
+	if err != nil {
+		t.Fatalf("fetch failed despite retries: %v", err)
+	}
+	if len(lists) != 2 {
+		t.Fatalf("lists = %d", len(lists))
+	}
+	if got := m.Summarize().FetchRetries; got != 2 {
+		t.Fatalf("FetchRetries = %d, want 2", got)
+	}
+}
+
+func TestResilientExhaustsRetries(t *testing.T) {
+	inner := newFlakyFabric(2, 1000, -1)
+	r := NewResilient(inner, 2, RetryConfig{Retries: 3, Backoff: time.Microsecond}, nil)
+	defer r.Close()
+	_, err := r.Fetch(0, 1, nil)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if got := inner.calls[1].Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 + 3 retries)", got)
+	}
+}
+
+func TestResilientTimeoutAndBreaker(t *testing.T) {
+	m := metrics.NewCluster(3)
+	inner := newFlakyFabric(3, 0, 2) // node 2 hangs forever
+	r := NewResilient(inner, 3, RetryConfig{
+		Timeout: 5 * time.Millisecond, Retries: 5,
+		Backoff: time.Microsecond, BreakerThreshold: 3,
+	}, m)
+	defer r.Close()
+
+	// Healthy destination still works.
+	if _, err := r.Fetch(0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Hung destination: attempts time out until the breaker trips.
+	_, err := r.Fetch(0, 2, nil)
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err = %v, want ErrPeerDead", err)
+	}
+	if !r.Dead(2) || r.Dead(1) {
+		t.Fatalf("dead state: node2=%v node1=%v", r.Dead(2), r.Dead(1))
+	}
+	if nodes := r.DeadNodes(); len(nodes) != 1 || nodes[0] != 2 {
+		t.Fatalf("DeadNodes = %v", nodes)
+	}
+	s := m.Summarize()
+	if s.FetchTimeouts < 3 {
+		t.Fatalf("FetchTimeouts = %d, want >= 3", s.FetchTimeouts)
+	}
+	if s.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", s.BreakerTrips)
+	}
+	// Subsequent fetches to the dead peer fail immediately, without attempts.
+	before := s.FetchTimeouts
+	if _, err := r.Fetch(1, 2, nil); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("post-trip err = %v", err)
+	}
+	if got := m.Summarize().FetchTimeouts; got != before {
+		t.Fatalf("dead peer still attempted: timeouts %d -> %d", before, got)
+	}
+}
+
+func TestResilientPermanentErrorFailsFast(t *testing.T) {
+	inner := &permFabric{}
+	r := NewResilient(inner, 2, RetryConfig{Retries: 5, Backoff: time.Microsecond}, nil)
+	defer r.Close()
+	_, err := r.Fetch(0, 1, nil)
+	var pe PermanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("permanent error lost: %v", err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("permanent error retried: %d attempts", got)
+	}
+}
+
+func TestResilientMarkDead(t *testing.T) {
+	r := NewResilient(newFlakyFabric(2, 0, -1), 2, RetryConfig{}, nil)
+	defer r.Close()
+	r.MarkDead(1)
+	if _, err := r.Fetch(0, 1, nil); !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err = %v, want ErrPeerDead", err)
+	}
+}
+
+func TestResilientBackoffBounds(t *testing.T) {
+	r := NewResilient(newFlakyFabric(2, 0, -1), 2, RetryConfig{
+		Backoff: 4 * time.Millisecond, MaxBackoff: 16 * time.Millisecond,
+	}, nil)
+	defer r.Close()
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := r.backoff(attempt)
+		if d <= 0 || d > 16*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v out of (0, 16ms]", attempt, d)
+		}
+	}
+}
+
+// TestResilientPassThroughOnRealFabric runs the resilient layer over the
+// real Local fabric and checks results and accounting are untouched.
+func TestResilientPassThroughOnRealFabric(t *testing.T) {
+	g := graphForComm(t)
+	asg, servers, m := serversForComm(g, 3)
+	r := NewResilient(NewLocal(servers, m), 3, RetryConfig{Timeout: time.Second, Retries: 2}, m)
+	defer r.Close()
+	fetchAll(t, r, g, asg)
+	if s := m.Summarize(); s.FetchRetries != 0 || s.FetchTimeouts != 0 || s.BreakerTrips != 0 {
+		t.Fatalf("healthy run recorded resilience events: %+v", s)
+	}
+}

@@ -7,10 +7,23 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"khuzdul/internal/graph"
 	"khuzdul/internal/metrics"
 )
+
+// DefaultIOTimeout bounds every socket read/write of a single fetch
+// exchange so a hung peer can never block a worker forever. SetIOTimeout
+// overrides it; 0 disables deadlines entirely.
+const DefaultIOTimeout = 30 * time.Second
+
+// maxFrameEntries bounds the u32 count prefixes of the wire format. A
+// corrupt or truncated frame can announce up to 2^32-1 entries; accepting
+// that would attempt a multi-gigabyte allocation before the stream even
+// fails. 1<<26 entries (256 MiB of vertex IDs) is far beyond any real
+// request or hub list.
+const maxFrameEntries = 1 << 26
 
 // TCP is a loopback-socket fabric: each simulated machine runs a responder
 // listening on 127.0.0.1, and fetches are length-prefixed little-endian
@@ -22,6 +35,7 @@ type TCP struct {
 	m         *metrics.Cluster
 	listeners []net.Listener
 	addrs     []string
+	ioTimeout time.Duration
 
 	mu    sync.Mutex
 	conns map[[2]int]*tcpConn // keyed by {from,to}
@@ -40,10 +54,11 @@ type tcpConn struct {
 // NewTCP starts one loopback listener per node and returns the fabric.
 func NewTCP(servers []Server, m *metrics.Cluster) (*TCP, error) {
 	t := &TCP{
-		servers: servers,
-		m:       m,
-		conns:   map[[2]int]*tcpConn{},
-		closed:  make(chan struct{}),
+		servers:   servers,
+		m:         m,
+		conns:     map[[2]int]*tcpConn{},
+		closed:    make(chan struct{}),
+		ioTimeout: DefaultIOTimeout,
 	}
 	for node := range servers {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -71,6 +86,21 @@ func (t *TCP) acceptLoop(node int, ln net.Listener) {
 	}
 }
 
+// SetIOTimeout sets the per-operation socket deadline for subsequent
+// fetches (0 disables deadlines). Call before sharing the fabric across
+// goroutines.
+func (t *TCP) SetIOTimeout(d time.Duration) { t.ioTimeout = d }
+
+// deadline arms a read or write deadline on c, or clears it when the
+// fabric's IO timeout is disabled.
+func (t *TCP) deadline(set func(time.Time) error) {
+	if t.ioTimeout > 0 {
+		set(time.Now().Add(t.ioTimeout))
+	} else {
+		set(time.Time{})
+	}
+}
+
 // serveConn answers framed requests on one inbound connection.
 func (t *TCP) serveConn(node int, c net.Conn) {
 	defer t.wg.Done()
@@ -78,11 +108,15 @@ func (t *TCP) serveConn(node int, c net.Conn) {
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 	for {
+		// No read deadline here: a client connection legitimately idles
+		// between requests. Writes are bounded so a stalled client cannot
+		// pin the responder goroutine.
 		ids, err := readIDs(r)
 		if err != nil {
 			return // EOF or peer closed
 		}
 		lists := t.servers[node].ServeEdgeLists(ids)
+		t.deadline(c.SetWriteDeadline)
 		if err := writeLists(w, lists); err != nil {
 			return
 		}
@@ -100,18 +134,42 @@ func (t *TCP) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, err
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	if err := writeIDs(conn.w, ids); err != nil {
-		return nil, fmt.Errorf("comm: send to node %d: %w", to, err)
-	}
-	if err := conn.w.Flush(); err != nil {
-		return nil, fmt.Errorf("comm: flush to node %d: %w", to, err)
-	}
-	lists, err := readLists(conn.r)
+	lists, err := t.exchange(conn, ids)
 	if err != nil {
-		return nil, fmt.Errorf("comm: response from node %d: %w", to, err)
+		// The stream may be mid-frame; drop the connection so a retry
+		// redials instead of resuming on broken framing.
+		t.dropConn(from, to, conn)
+		return nil, fmt.Errorf("comm: fetch %d->%d: %w", from, to, err)
 	}
 	account(t.m, from, to, RequestBytes(len(ids)), ResponseBytes(lists))
 	return lists, nil
+}
+
+// exchange performs one request/response pair on a held connection.
+func (t *TCP) exchange(conn *tcpConn, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	t.deadline(conn.c.SetWriteDeadline)
+	if err := writeIDs(conn.w, ids); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	if err := conn.w.Flush(); err != nil {
+		return nil, fmt.Errorf("flush: %w", err)
+	}
+	t.deadline(conn.c.SetReadDeadline)
+	lists, err := readLists(conn.r)
+	if err != nil {
+		return nil, fmt.Errorf("response: %w", err)
+	}
+	return lists, nil
+}
+
+// dropConn closes and forgets a connection whose stream state is suspect.
+func (t *TCP) dropConn(from, to int, conn *tcpConn) {
+	conn.c.Close()
+	t.mu.Lock()
+	if t.conns[[2]int{from, to}] == conn {
+		delete(t.conns, [2]int{from, to})
+	}
+	t.mu.Unlock()
 }
 
 // conn returns (dialing if necessary) the connection for the ordered pair.
@@ -170,8 +228,16 @@ func readIDs(r *bufio.Reader) ([]graph.VertexID, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
+	// Validate the announced count before allocating: a corrupt frame must
+	// become an error, not a multi-gigabyte make().
+	if n > maxFrameEntries {
+		return nil, fmt.Errorf("comm: request frame announces %d ids (max %d): corrupt frame", n, maxFrameEntries)
+	}
 	ids := make([]graph.VertexID, n)
 	if err := binary.Read(r, binary.LittleEndian, ids); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("comm: truncated request frame (want %d ids): %w", n, io.ErrUnexpectedEOF)
+		}
 		return nil, err
 	}
 	return ids, nil
@@ -197,16 +263,25 @@ func readLists(r *bufio.Reader) ([][]graph.VertexID, error) {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
 	}
+	if n > maxFrameEntries {
+		return nil, fmt.Errorf("comm: response frame announces %d lists (max %d): corrupt frame", n, maxFrameEntries)
+	}
 	lists := make([][]graph.VertexID, n)
 	for i := range lists {
 		var ln uint32
 		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return nil, fmt.Errorf("comm: truncated response frame (list %d/%d header): %w", i, n, io.ErrUnexpectedEOF)
+			}
 			return nil, err
+		}
+		if ln > maxFrameEntries {
+			return nil, fmt.Errorf("comm: response frame announces %d-vertex list (max %d): corrupt frame", ln, maxFrameEntries)
 		}
 		l := make([]graph.VertexID, ln)
 		if err := binary.Read(r, binary.LittleEndian, l); err != nil {
-			if err == io.ErrUnexpectedEOF {
-				return nil, io.EOF
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return nil, fmt.Errorf("comm: truncated response frame (list %d/%d, want %d vertices): %w", i, n, ln, io.ErrUnexpectedEOF)
 			}
 			return nil, err
 		}

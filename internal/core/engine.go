@@ -40,6 +40,14 @@ type Config struct {
 	Cache cache.Cache
 	// Metrics receives counters; nil disables metric collection.
 	Metrics *metrics.Node
+	// OnRangeDone, when set, is called after each contiguous root range
+	// [start, end) (indices into DataSource.Roots()) has been explored to
+	// completion — every match from those embedding trees has reached the
+	// sink. Root ranges complete strictly in order, so the latest end is a
+	// checkpoint: on failure, only roots at or past it need re-execution
+	// (the chunk lifecycle of §3.3 makes lost work re-derivable from source
+	// vertices). Nil disables checkpointing at zero cost.
+	OnRangeDone func(start, end int)
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +152,9 @@ func (e *Engine) Run() error {
 		ch := e.rootChunk(roots[start:end])
 		if ch.len() == 0 {
 			e.putChunk(ch)
+			if e.cfg.OnRangeDone != nil {
+				e.cfg.OnRangeDone(start, end)
+			}
 			continue
 		}
 		e.path[0] = ch
@@ -151,6 +162,9 @@ func (e *Engine) Run() error {
 		e.putChunk(ch)
 		if err != nil {
 			return err
+		}
+		if e.cfg.OnRangeDone != nil {
+			e.cfg.OnRangeDone(start, end)
 		}
 	}
 	return nil

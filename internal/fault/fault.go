@@ -1,0 +1,269 @@
+// Package fault injects deterministic, seedable faults into a communication
+// fabric. It wraps any comm.Fabric (the in-process fabric or the TCP
+// loopback fabric) and perturbs fetches with three fault classes drawn from
+// the failure model of production GPM deployments:
+//
+//   - transient fetch errors (dropped/reset connections, recoverable by
+//     retrying),
+//   - added latency (congestion, stragglers),
+//   - permanent node crashes: from fault time on, the crashed node's server
+//     answers nothing (callers hang until their deadline) and fetches issued
+//     *by* the crashed node fail fast with a permanent error (the process is
+//     gone).
+//
+// All decisions derive from a seed hashed with the (from, to) pair and a
+// per-pair sequence number, so a given seed reproduces the same fault
+// pattern per connection pair regardless of how goroutines interleave
+// globally. Injection is off by default and costs nothing when no Injector
+// wraps the fabric.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"khuzdul/internal/comm"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/metrics"
+)
+
+// ErrInjected marks a transient injected fetch error; retrying may succeed.
+var ErrInjected = errors.New("fault: injected transient error")
+
+// ErrNodeCrashed marks a fetch attempted by a node that has permanently
+// crashed. It is a permanent error: retrying cannot fix it.
+var ErrNodeCrashed = errors.New("fault: node crashed")
+
+// crashedError reports a fetch from a crashed node and satisfies
+// comm.PermanentError so the retry layer fails fast instead of retrying.
+type crashedError struct{ node int }
+
+func (e crashedError) Error() string {
+	return fmt.Sprintf("fault: node %d crashed: %v", e.node, ErrNodeCrashed)
+}
+func (e crashedError) Unwrap() error   { return ErrNodeCrashed }
+func (e crashedError) Permanent() bool { return true }
+
+// Crash schedules one permanent node failure.
+type Crash struct {
+	// Node is the machine that crashes.
+	Node int
+	// After is the number of fetches the node serves before crashing: the
+	// first After fetches targeting it are answered, every later one hangs.
+	After uint64
+}
+
+// Profile configures fault injection. The zero value injects nothing.
+type Profile struct {
+	// Seed makes the injected fault pattern reproducible.
+	Seed int64
+	// ErrorRate is the probability in [0,1] that a fetch fails with a
+	// transient error before reaching the transport.
+	ErrorRate float64
+	// MaxLatency, when positive, adds a deterministic pseudo-random delay in
+	// [0, MaxLatency) to every fetch.
+	MaxLatency time.Duration
+	// Crashes lists permanent node failures.
+	Crashes []Crash
+}
+
+// Zero reports whether the profile injects no faults at all.
+func (p Profile) Zero() bool {
+	return p.ErrorRate <= 0 && p.MaxLatency <= 0 && len(p.Crashes) == 0
+}
+
+// ParseProfile parses a CLI fault-profile spec: comma-separated
+// key=value items among
+//
+//	seed=N          decision seed (default 1)
+//	err=F           transient error probability in [0,1]
+//	latency=D       max injected latency (Go duration, e.g. 500us)
+//	crash=NODE@N    node NODE crashes after serving N fetches (repeatable)
+//
+// Example: "seed=7,err=0.05,latency=200us,crash=2@500". Empty string and
+// "none" return nil (no injection).
+func ParseProfile(spec string) (*Profile, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" || spec == "off" {
+		return nil, nil
+	}
+	p := &Profile{Seed: 1}
+	for _, item := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad profile item %q (want key=value)", item)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", v)
+			}
+			p.Seed = n
+		case "err":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("fault: bad error rate %q (want [0,1])", v)
+			}
+			p.ErrorRate = f
+		case "latency":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: bad latency %q", v)
+			}
+			p.MaxLatency = d
+		case "crash":
+			nodeStr, afterStr, ok := strings.Cut(v, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad crash spec %q (want NODE@N)", v)
+			}
+			node, err1 := strconv.Atoi(nodeStr)
+			after, err2 := strconv.ParseUint(afterStr, 10, 64)
+			if err1 != nil || err2 != nil || node < 0 {
+				return nil, fmt.Errorf("fault: bad crash spec %q", v)
+			}
+			p.Crashes = append(p.Crashes, Crash{Node: node, After: after})
+		default:
+			return nil, fmt.Errorf("fault: unknown profile key %q", k)
+		}
+	}
+	return p, nil
+}
+
+// String renders the profile in ParseProfile syntax.
+func (p Profile) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	if p.ErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("err=%g", p.ErrorRate))
+	}
+	if p.MaxLatency > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%v", p.MaxLatency))
+	}
+	for _, c := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%d@%d", c.Node, c.After))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Injector holds the fault state of one simulated cluster. The state is
+// shared by every fabric the injector wraps, so a node that crashed during
+// the main run stays crashed in recovery rounds run over a fresh fabric.
+type Injector struct {
+	prof    Profile
+	n       int
+	met     *metrics.Cluster
+	crashed []atomic.Bool
+	served  []atomic.Uint64 // fetches served per target node (crash trigger)
+	pairSeq []atomic.Uint64 // per (from,to) decision sequence numbers
+}
+
+// NewInjector returns fault state for a numNodes cluster. m may be nil to
+// disable fault accounting.
+func NewInjector(p Profile, numNodes int, m *metrics.Cluster) *Injector {
+	return &Injector{
+		prof:    p,
+		n:       numNodes,
+		met:     m,
+		crashed: make([]atomic.Bool, numNodes),
+		served:  make([]atomic.Uint64, numNodes),
+		pairSeq: make([]atomic.Uint64, numNodes*numNodes),
+	}
+}
+
+// Profile returns the injector's profile.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// Crashed reports whether node has permanently crashed.
+func (in *Injector) Crashed(node int) bool {
+	return node >= 0 && node < in.n && in.crashed[node].Load()
+}
+
+// CrashedNodes returns every node that has crashed so far, ascending.
+func (in *Injector) CrashedNodes() []int {
+	var out []int
+	for i := range in.crashed {
+		if in.crashed[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Wrap returns a fabric that injects this injector's faults in front of
+// inner. Closing the wrapper releases callers hanging on crashed nodes and
+// closes inner.
+func (in *Injector) Wrap(inner comm.Fabric) comm.Fabric {
+	return &fabric{in: in, inner: inner, closed: make(chan struct{})}
+}
+
+type fabric struct {
+	in     *Injector
+	inner  comm.Fabric
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Fetch implements comm.Fabric with fault injection around inner.Fetch.
+func (f *fabric) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	in := f.in
+	if in.Crashed(from) {
+		// The requesting process is dead; its engine must stop immediately.
+		return nil, crashedError{node: from}
+	}
+	if to >= 0 && to < in.n {
+		// Count the serve attempt against the target, possibly crossing its
+		// crash threshold.
+		n := in.served[to].Add(1)
+		for _, c := range in.prof.Crashes {
+			if c.Node == to && n > c.After {
+				in.crashed[to].Store(true)
+			}
+		}
+		if in.Crashed(to) {
+			// A crashed server answers nothing from fault time on: hang until
+			// the fabric is torn down (callers escape via their deadline).
+			<-f.closed
+			return nil, fmt.Errorf("fault: fabric closed while awaiting crashed node %d: %w", to, ErrNodeCrashed)
+		}
+	}
+	if !in.prof.Zero() && from >= 0 && from < in.n && to >= 0 && to < in.n {
+		seq := in.pairSeq[from*in.n+to].Add(1)
+		h := mix64(uint64(in.prof.Seed), uint64(from)<<32|uint64(to), seq)
+		if d := in.prof.MaxLatency; d > 0 {
+			time.Sleep(time.Duration(mix64(h, 0xa5, seq) % uint64(d)))
+		}
+		if r := in.prof.ErrorRate; r > 0 && unitFloat(mix64(h, 0x5a, seq)) < r {
+			if in.met != nil {
+				in.met.Nodes[from].FaultsInjected.Add(1)
+			}
+			return nil, fmt.Errorf("fault: fetch %d->%d (pair seq %d): %w", from, to, seq, ErrInjected)
+		}
+	}
+	return f.inner.Fetch(from, to, ids)
+}
+
+// Close implements comm.Fabric.
+func (f *fabric) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	return f.inner.Close()
+}
+
+// mix64 is a splitmix64-style hash over three words, driving all injection
+// decisions deterministically.
+func mix64(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9 + c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unitFloat maps a hash to [0,1).
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }

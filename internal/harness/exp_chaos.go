@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"khuzdul/internal/apps"
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/fault"
+)
+
+// Chaos experiment (beyond the paper's exhibits): the resilience subsystem's
+// cost and correctness. Four rows per workload: the plain cluster, the
+// resilience layer with no faults (its steady-state overhead), a transient
+// error storm absorbed by retries, and a mid-run permanent node crash
+// repaired by task-level recovery. Every faulted run must reproduce the
+// fault-free count exactly.
+
+func init() {
+	register(Experiment{ID: "ablation-chaos", Title: "Fault injection, retries and task-level recovery (extra)", Run: runAblationChaos})
+}
+
+func runAblationChaos(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-chaos",
+		Title:  "chaos: resilience cost and recovery (k-GraphPi, lj)",
+		Header: []string{"App", "Scenario", "elapsed", "faults", "retries", "rec.rounds", "rec.roots", "dead"},
+	}
+	d, err := GetDataset("lj")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Generate(o.Scale)
+
+	type scenario struct {
+		name      string
+		resilient bool
+		prof      *fault.Profile
+	}
+	scenarios := []scenario{
+		{name: "baseline"},
+		{name: "resilient, no faults", resilient: true},
+		{name: "transient err=5%", prof: &fault.Profile{Seed: 7, ErrorRate: 0.05}},
+		{name: "err=5% + crash n1", prof: &fault.Profile{
+			Seed: 7, ErrorRate: 0.05, Crashes: []fault.Crash{{Node: 1, After: 10}},
+		}},
+	}
+
+	appsList := []appSpec{appTC}
+	if !o.Quick {
+		appsList = append(appsList, app4CC)
+	}
+	for _, a := range appsList {
+		var want uint64
+		for i, sc := range scenarios {
+			// A crash permanently poisons the injector, so every scenario gets
+			// a fresh cluster.
+			c, err := cluster.New(g, cluster.Config{
+				NumNodes:             o.Nodes,
+				ThreadsPerSocket:     o.Threads,
+				ChunkSize:            experimentChunkSize,
+				CacheFraction:        0.10,
+				CacheDegreeThreshold: 8,
+				SequentialNodes:      true,
+				Resilient:            sc.resilient,
+				Fault:                sc.prof,
+				FetchTimeout:         50 * time.Millisecond,
+				RetryBackoff:         200 * time.Microsecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := runOnCluster(c, apps.KGraphPi, a)
+			c.Close()
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				want = r.Count
+			} else if r.Count != want {
+				return nil, fmt.Errorf("ablation-chaos %s %q: count %d, want %d",
+					a.name, sc.name, r.Count, want)
+			}
+			t.AddRow(a.name, sc.name, elapsedStr(r.Elapsed),
+				FmtCount(r.Summary.FaultsInjected), FmtCount(r.Summary.FetchRetries),
+				fmt.Sprintf("%d", r.RecoveryRounds), FmtCount(r.Summary.RecoveredRoots),
+				fmt.Sprintf("%v", r.DeadNodes))
+		}
+	}
+	t.AddNote("all scenarios reproduce the fault-free count exactly; recovery re-executes only unfinished source-vertex ranges on survivors")
+	return t, nil
+}

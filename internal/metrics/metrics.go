@@ -27,6 +27,11 @@ type Node struct {
 	Matches            atomic.Uint64 // full pattern embeddings found
 	CrossSocketFetches atomic.Uint64 // NUMA: lists served from another socket
 	CrossSocketBytes   atomic.Uint64 // NUMA: modeled cross-socket traffic
+	FetchRetries       atomic.Uint64 // resilience: fetch attempts retried after a failure
+	FetchTimeouts      atomic.Uint64 // resilience: fetch attempts that hit the per-attempt deadline
+	BreakerTrips       atomic.Uint64 // resilience: peers this node's circuit breaker declared dead
+	FaultsInjected     atomic.Uint64 // resilience: transient faults injected into this node's fetches
+	RecoveredRoots     atomic.Uint64 // resilience: source vertices re-executed on this node during recovery
 	// PeakEmbeddings is the high-water mark of simultaneously allocated
 	// extendable embeddings across this machine's live chunks — the
 	// quantity the paper's §4.2 bounded-memory argument is about.
@@ -65,6 +70,11 @@ func (n *Node) Reset() {
 	n.Matches.Store(0)
 	n.CrossSocketFetches.Store(0)
 	n.CrossSocketBytes.Store(0)
+	n.FetchRetries.Store(0)
+	n.FetchTimeouts.Store(0)
+	n.BreakerTrips.Store(0)
+	n.FaultsInjected.Store(0)
+	n.RecoveredRoots.Store(0)
 	n.PeakEmbeddings.Store(0)
 	n.computeNS.Store(0)
 	n.networkNS.Store(0)
@@ -158,6 +168,11 @@ type Summary struct {
 	Matches            uint64
 	CrossSocketFetches uint64
 	CrossSocketBytes   uint64
+	FetchRetries       uint64
+	FetchTimeouts      uint64
+	BreakerTrips       uint64
+	FaultsInjected     uint64
+	RecoveredRoots     uint64
 	// PeakEmbeddings is the maximum over machines of the per-machine
 	// live-embedding high-water mark.
 	PeakEmbeddings uint64
@@ -180,6 +195,11 @@ func (c *Cluster) Summarize() Summary {
 		s.Matches += n.Matches.Load()
 		s.CrossSocketFetches += n.CrossSocketFetches.Load()
 		s.CrossSocketBytes += n.CrossSocketBytes.Load()
+		s.FetchRetries += n.FetchRetries.Load()
+		s.FetchTimeouts += n.FetchTimeouts.Load()
+		s.BreakerTrips += n.BreakerTrips.Load()
+		s.FaultsInjected += n.FaultsInjected.Load()
+		s.RecoveredRoots += n.RecoveredRoots.Load()
 		if p := n.PeakEmbeddings.Load(); p > s.PeakEmbeddings {
 			s.PeakEmbeddings = p
 		}

@@ -26,6 +26,7 @@ import (
 	"khuzdul/internal/apps"
 	"khuzdul/internal/cache"
 	"khuzdul/internal/cluster"
+	"khuzdul/internal/fault"
 	"khuzdul/internal/fsm"
 	"khuzdul/internal/graph"
 	"khuzdul/internal/pattern"
@@ -115,6 +116,17 @@ type Config struct {
 	// TCP routes all remote fetches through loopback TCP sockets instead of
 	// the in-process fabric.
 	TCP bool
+	// FaultProfile injects deterministic faults into the fabric, in
+	// fault.ParseProfile syntax, e.g. "seed=7,err=0.05,latency=200us,
+	// crash=2@500". Empty, "none" and "off" disable injection (the default;
+	// no overhead). A non-empty profile enables the resilience layer.
+	FaultProfile string
+	// FetchTimeout bounds each remote fetch attempt. Setting it enables the
+	// resilience layer (default 250ms once enabled).
+	FetchTimeout time.Duration
+	// FetchRetries is the retry budget per fetch after the first attempt.
+	// Setting it enables the resilience layer (default 5 once enabled).
+	FetchRetries int
 }
 
 // Result reports one mining run.
@@ -129,15 +141,32 @@ type Result struct {
 	CacheHitRate float64
 	// Extensions is the number of fine-grained extension tasks executed.
 	Extensions uint64
+	// FetchRetries is the number of retried remote fetches (resilience).
+	FetchRetries uint64
+	// FaultsInjected is the number of injected transient fetch errors.
+	FaultsInjected uint64
+	// RecoveredRoots is the number of source vertices re-executed by
+	// task-level recovery after a node failure.
+	RecoveredRoots uint64
+	// RecoveryRounds is the number of task-level recovery rounds the run
+	// needed (0 on a healthy run).
+	RecoveryRounds int
+	// DeadNodes lists machines declared dead during the run, ascending.
+	DeadNodes []int
 }
 
 func fromCluster(r cluster.Result) Result {
 	return Result{
-		Count:        r.Count,
-		Elapsed:      r.Elapsed,
-		TrafficBytes: r.Summary.BytesSent,
-		CacheHitRate: r.Summary.CacheHitRate(),
-		Extensions:   r.Summary.Extensions,
+		Count:          r.Count,
+		Elapsed:        r.Elapsed,
+		TrafficBytes:   r.Summary.BytesSent,
+		CacheHitRate:   r.Summary.CacheHitRate(),
+		Extensions:     r.Summary.Extensions,
+		FetchRetries:   r.Summary.FetchRetries,
+		FaultsInjected: r.Summary.FaultsInjected,
+		RecoveredRoots: r.Summary.RecoveredRoots,
+		RecoveryRounds: r.RecoveryRounds,
+		DeadNodes:      r.DeadNodes,
 	}
 }
 
@@ -150,6 +179,10 @@ type Engine struct {
 // Open partitions g over a simulated cluster and returns a mining engine.
 func Open(g *Graph, cfg Config) (*Engine, error) {
 	pol, err := cache.ParsePolicy(cfg.CachePolicy)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := fault.ParseProfile(cfg.FaultProfile)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +200,9 @@ func Open(g *Graph, cfg Config) (*Engine, error) {
 		CachePolicy:          pol,
 		CacheDegreeThreshold: cfg.CacheDegreeThreshold,
 		Transport:            transport,
+		Fault:                prof,
+		FetchTimeout:         cfg.FetchTimeout,
+		FetchRetries:         cfg.FetchRetries,
 	})
 	if err != nil {
 		return nil, err
