@@ -15,8 +15,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"khuzdul"
+	"khuzdul/internal/fault"
 	"khuzdul/internal/graph"
 	"khuzdul/internal/harness"
 )
@@ -38,15 +40,21 @@ func main() {
 		cacheDeg  = flag.Uint("cache-threshold", 8, "static cache degree admission threshold")
 		noHDS     = flag.Bool("no-hds", false, "disable horizontal data sharing")
 		tcp       = flag.Bool("tcp", false, "use the loopback TCP fabric")
-		faultProf = flag.String("fault-profile", "", "deterministic fault injection spec, e.g. seed=7,err=0.05,latency=200us,crash=2@500 (empty disables)")
+		faultProf = flag.String("fault-profile", "", "deterministic fault injection spec, e.g. seed=7,err=0.05,corrupt=0.01,drop=0.01,partition=0|1@500,slow=2:20,crash=2@500 (empty disables)")
 		fetchTO   = flag.Duration("fetch-timeout", 0, "per-fetch-attempt timeout; enables the resilience layer (0 = default 250ms when enabled)")
 		retries   = flag.Int("retries", 0, "retry budget per fetch; enables the resilience layer (0 = default 5 when enabled)")
+		heartbeat = flag.Bool("heartbeat", false, "run the heartbeat failure detector; enables the resilience layer")
+		speculate = flag.Bool("speculate", false, "re-execute straggler root ranges on idle machines; enables the resilience layer")
 		support   = flag.Uint64("support", 100, "FSM minimum support")
 		maxEdges  = flag.Int("max-edges", 3, "FSM maximum pattern edges")
 		labels    = flag.Int("labels", 0, "synthesize N random vertex labels (needed for fsm on unlabeled inputs)")
 		explain   = flag.Bool("explain", false, "print the compiled enumeration plan before running")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*nodes, *sockets, *threads, *retries, *fetchTO, *faultProf); err != nil {
+		fatal(err)
+	}
 
 	g, err := loadGraph(*graphSpec)
 	if err != nil {
@@ -73,6 +81,8 @@ func main() {
 		FaultProfile:         *faultProf,
 		FetchTimeout:         *fetchTO,
 		FetchRetries:         *retries,
+		Heartbeat:            *heartbeat,
+		Speculate:            *speculate,
 	})
 	if err != nil {
 		fatal(err)
@@ -135,6 +145,32 @@ func main() {
 	}
 }
 
+// validateFlags rejects nonsensical cluster and resilience settings up
+// front, before any graph loading, with errors that name the flag — the
+// alternative is a partition panic or a silently useless retry budget deep
+// inside a run.
+func validateFlags(nodes, sockets, threads, retries int, fetchTO time.Duration, faultProf string) error {
+	if nodes <= 0 {
+		return fmt.Errorf("-nodes must be positive, got %d", nodes)
+	}
+	if sockets <= 0 {
+		return fmt.Errorf("-sockets must be positive, got %d", sockets)
+	}
+	if threads <= 0 {
+		return fmt.Errorf("-threads must be positive, got %d", threads)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries must not be negative, got %d", retries)
+	}
+	if fetchTO < 0 {
+		return fmt.Errorf("-fetch-timeout must not be negative, got %v", fetchTO)
+	}
+	if _, err := fault.ParseProfile(faultProf); err != nil {
+		return fmt.Errorf("bad -fault-profile: %w", err)
+	}
+	return nil
+}
+
 // explainTarget resolves the single pattern an -explain request refers to
 // (nil for multi-pattern apps, which print nothing).
 func explainTarget(app string, k int, patName string) (*khuzdul.Pattern, error) {
@@ -157,9 +193,16 @@ func report(res khuzdul.Result, err error) {
 	fmt.Printf("count: %d\nelapsed: %v\ntraffic: %s\ncache hit rate: %.1f%%\nextensions: %d\n",
 		res.Count, res.Elapsed, harness.FmtBytes(res.TrafficBytes),
 		100*res.CacheHitRate, res.Extensions)
-	if res.FaultsInjected > 0 || res.FetchRetries > 0 || res.RecoveryRounds > 0 {
+	if res.FaultsInjected > 0 || res.FetchRetries > 0 || res.RecoveryRounds > 0 ||
+		res.CorruptFrames > 0 || res.HeartbeatMisses > 0 || res.SpeculativeRanges > 0 {
 		fmt.Printf("resilience: %d faults injected, %d retries, %d recovery rounds, %d roots recovered, dead nodes %v\n",
 			res.FaultsInjected, res.FetchRetries, res.RecoveryRounds, res.RecoveredRoots, res.DeadNodes)
+		fmt.Printf("  wire: %d corrupt frames rejected, %d redials\n",
+			res.CorruptFrames, res.Redials)
+		fmt.Printf("  detector: %d heartbeat misses, %d nodes suspected\n",
+			res.HeartbeatMisses, res.NodesSuspected)
+		fmt.Printf("  speculation: %d ranges re-executed, %d wins\n",
+			res.SpeculativeRanges, res.SpeculationWins)
 	}
 }
 

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(nodes, sockets, threads, retries int, to time.Duration, prof string) func(*testing.T) {
+		return func(t *testing.T) {
+			if err := validateFlags(nodes, sockets, threads, retries, to, prof); err != nil {
+				t.Fatalf("validateFlags: unexpected error %v", err)
+			}
+		}
+	}
+	bad := func(nodes, sockets, threads, retries int, to time.Duration, prof, want string) func(*testing.T) {
+		return func(t *testing.T) {
+			err := validateFlags(nodes, sockets, threads, retries, to, prof)
+			if err == nil {
+				t.Fatal("validateFlags: expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("validateFlags: error %q does not mention %q", err, want)
+			}
+		}
+	}
+	t.Run("defaults", ok(8, 1, 2, 0, 0, ""))
+	t.Run("full resilience", ok(4, 2, 2, 3, 100*time.Millisecond,
+		"seed=7,err=0.05,corrupt=0.01,drop=0.01,partition=0|1@500,slow=2:20,crash=3@500"))
+	t.Run("profile off", ok(1, 1, 1, 0, 0, "none"))
+	t.Run("zero nodes", bad(0, 1, 2, 0, 0, "", "-nodes"))
+	t.Run("negative nodes", bad(-3, 1, 2, 0, 0, "", "-nodes"))
+	t.Run("zero sockets", bad(8, 0, 2, 0, 0, "", "-sockets"))
+	t.Run("zero threads", bad(8, 1, 0, 0, 0, "", "-threads"))
+	t.Run("negative threads", bad(8, 1, -1, 0, 0, "", "-threads"))
+	t.Run("negative retries", bad(8, 1, 2, -1, 0, "", "-retries"))
+	t.Run("negative timeout", bad(8, 1, 2, 0, -time.Second, "", "-fetch-timeout"))
+	t.Run("malformed profile", bad(8, 1, 2, 0, 0, "err=lots", "-fault-profile"))
+	t.Run("unknown profile key", bad(8, 1, 2, 0, 0, "frobnicate=1", "-fault-profile"))
+	t.Run("malformed partition", bad(8, 1, 2, 0, 0, "partition=0|@5", "-fault-profile"))
+	t.Run("overlapping partition", bad(8, 1, 2, 0, 0, "partition=0|0@5", "-fault-profile"))
+	t.Run("bad slow factor", bad(8, 1, 2, 0, 0, "slow=1:0", "-fault-profile"))
+}

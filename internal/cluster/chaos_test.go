@@ -165,6 +165,278 @@ func TestResilientNoFaultsNoEvents(t *testing.T) {
 	}
 }
 
+// TestChaosWireCorruptionExactCounts flips payload bytes on 5% of exchanges
+// over both fabrics. On TCP the CRC actually catches real flipped bytes on the
+// wire; on the in-process fabric the injector synthesizes the same verdict.
+// Either way the retry layer must absorb every rejection and the count must be
+// bit-identical to the fault-free run.
+func TestChaosWireCorruptionExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	for name, transport := range map[string]Transport{"chan": TransportChan, "tcp": TransportTCP} {
+		t.Run(name, func(t *testing.T) {
+			prof := &fault.Profile{Seed: 19, CorruptRate: 0.05}
+			c := mustCluster(t, g, chaosConfig(prof, transport))
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count under corruption = %d, want %d", res.Count, want)
+			}
+			s := res.Summary
+			if s.CorruptFrames == 0 {
+				t.Fatal("no corrupt frames recorded despite 5% corruption rate")
+			}
+			if s.FetchRetries == 0 {
+				t.Fatal("no retries recorded despite rejected frames")
+			}
+			if transport == TransportTCP && s.Redials == 0 {
+				t.Fatal("TCP fabric never redialed after a poisoned connection")
+			}
+		})
+	}
+}
+
+// TestChaosConnectionDropsExactCounts severs 5% of exchanges mid-flight. The
+// client sees a torn connection, redials, and retries; counts stay exact.
+func TestChaosConnectionDropsExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	for name, transport := range map[string]Transport{"chan": TransportChan, "tcp": TransportTCP} {
+		t.Run(name, func(t *testing.T) {
+			prof := &fault.Profile{Seed: 23, DropRate: 0.05}
+			c := mustCluster(t, g, chaosConfig(prof, transport))
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count under drops = %d, want %d", res.Count, want)
+			}
+			s := res.Summary
+			if s.FetchRetries == 0 {
+				t.Fatal("no retries recorded despite dropped connections")
+			}
+			if transport == TransportTCP && s.Redials == 0 {
+				t.Fatal("TCP fabric never redialed after a severed connection")
+			}
+		})
+	}
+}
+
+// TestChaosPartitionRecoveryExactCounts opens an asymmetric partition mid-run:
+// node 0 loses sight of node 1 while every other direction stays healthy.
+// Node 0's fetches toward 1 hang into timeouts, the breaker declares 1 dead
+// cluster-wide (the consistent-verdict rule), and task-level recovery
+// re-executes whatever was pending — with counts still bit-identical.
+func TestChaosPartitionRecoveryExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	for name, transport := range map[string]Transport{"chan": TransportChan, "tcp": TransportTCP} {
+		t.Run(name, func(t *testing.T) {
+			prof := &fault.Profile{
+				Seed:       31,
+				Partitions: []fault.Partition{{A: []int{0}, B: []int{1}, After: 30}},
+			}
+			c := mustCluster(t, g, chaosConfig(prof, transport))
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count under partition = %d, want %d", res.Count, want)
+			}
+			if res.RecoveryRounds == 0 {
+				t.Fatal("partition run reported no recovery rounds")
+			}
+			found := false
+			for _, n := range res.DeadNodes {
+				if n == 1 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("DeadNodes = %v, want to include partitioned node 1", res.DeadNodes)
+			}
+			if res.Summary.FetchTimeouts == 0 {
+				t.Fatal("no fetch timeouts recorded despite hung partition traffic")
+			}
+		})
+	}
+}
+
+// TestChaosHeartbeatSuspectsCrashedNode enables the failure detector on a
+// crash run: the crashed node's pings stop answering, consecutive misses
+// accumulate, and the detector's verdict (not just the breaker) marks it
+// dead. Counts must still be exact.
+func TestChaosHeartbeatSuspectsCrashedNode(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	prof := &fault.Profile{Seed: 11, Crashes: []fault.Crash{{Node: 1, After: 10}}}
+	cfg := chaosConfig(prof, TransportChan)
+	cfg.Heartbeat = true
+	cfg.HeartbeatInterval = 5 * time.Millisecond
+	cfg.HeartbeatTimeout = 10 * time.Millisecond
+	cfg.HeartbeatMisses = 2
+	c := mustCluster(t, g, cfg)
+	res, err := c.Count(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("count under crash with heartbeat = %d, want %d", res.Count, want)
+	}
+	found := false
+	for _, n := range res.DeadNodes {
+		if n == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DeadNodes = %v, want to include crashed node 1", res.DeadNodes)
+	}
+	s := res.Summary
+	if s.HeartbeatMisses == 0 {
+		t.Fatal("no heartbeat misses recorded despite a crashed node")
+	}
+	if s.NodesSuspected == 0 {
+		t.Fatal("detector never suspected the crashed node")
+	}
+}
+
+// TestChaosSlowNodeSpeculationExactCounts makes node 1 a 60× straggler and
+// turns speculation on: idle survivors re-execute its unfinished suffix, and
+// the first-completion-wins reconciliation must keep the count bit-identical
+// whether the straggler or the speculative copy finishes first.
+func TestChaosSlowNodeSpeculationExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	for name, transport := range map[string]Transport{"chan": TransportChan, "tcp": TransportTCP} {
+		t.Run(name, func(t *testing.T) {
+			prof := &fault.Profile{
+				Seed:      37,
+				Slowdowns: []fault.Slowdown{{Node: 1, Factor: 60}},
+			}
+			cfg := chaosConfig(prof, transport)
+			cfg.Speculate = true
+			c := mustCluster(t, g, cfg)
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count under straggler = %d, want %d", res.Count, want)
+			}
+			s := res.Summary
+			if s.SpeculativeRanges == 0 {
+				t.Fatal("no speculative ranges executed against a 60x straggler")
+			}
+			t.Logf("speculation: %d ranges re-executed, %d wins", s.SpeculativeRanges, s.SpeculationWins)
+		})
+	}
+}
+
+// TestChaosSpeculationHealthyRunExact leaves speculation armed on a fault-free
+// run. Natural skew may or may not trigger a speculative copy; either way the
+// reconciliation must never double- or under-count.
+func TestChaosSpeculationHealthyRunExact(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	cfg := chaosConfig(nil, TransportChan)
+	cfg.Speculate = true
+	c := mustCluster(t, g, cfg)
+	for i := 0; i < 3; i++ {
+		res, err := c.Count(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Fatalf("run %d: healthy speculative count = %d, want %d", i, res.Count, want)
+		}
+	}
+}
+
+// TestChaosKitchenSinkExactCounts is the acceptance scenario: corruption,
+// connection drops, transient errors, an asymmetric partition, and a straggler
+// all at once, with the heartbeat detector and speculation both enabled —
+// over both fabrics, with counts bit-identical to the fault-free run.
+func TestChaosKitchenSinkExactCounts(t *testing.T) {
+	g := graph.RMATDefault(150, 900, 47)
+	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.BruteForceCount(g, pattern.Clique(4), false)
+
+	for name, transport := range map[string]Transport{"chan": TransportChan, "tcp": TransportTCP} {
+		t.Run(name, func(t *testing.T) {
+			prof := &fault.Profile{
+				Seed:        41,
+				ErrorRate:   0.02,
+				CorruptRate: 0.02,
+				DropRate:    0.02,
+				Partitions:  []fault.Partition{{A: []int{2}, B: []int{3}, After: 50}},
+				Slowdowns:   []fault.Slowdown{{Node: 1, Factor: 20}},
+			}
+			cfg := chaosConfig(prof, transport)
+			cfg.Heartbeat = true
+			cfg.HeartbeatInterval = 5 * time.Millisecond
+			cfg.HeartbeatTimeout = 10 * time.Millisecond
+			cfg.HeartbeatMisses = 3
+			cfg.Speculate = true
+			c := mustCluster(t, g, cfg)
+			res, err := c.Count(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("kitchen-sink count = %d, want %d", res.Count, want)
+			}
+			s := res.Summary
+			if s.CorruptFrames == 0 {
+				t.Fatal("no corrupt frames recorded in the kitchen sink")
+			}
+			if s.FetchRetries == 0 {
+				t.Fatal("no retries recorded in the kitchen sink")
+			}
+			t.Logf("kitchen sink [%s]: corrupt=%d redials=%d hbMiss=%d suspected=%d specRanges=%d specWins=%d recovery=%d dead=%v",
+				name, s.CorruptFrames, s.Redials, s.HeartbeatMisses, s.NodesSuspected,
+				s.SpeculativeRanges, s.SpeculationWins, res.RecoveryRounds, res.DeadNodes)
+		})
+	}
+}
+
 // TestChaosCountAllSurvivesCrash runs motif counting (several plans back to
 // back on one cluster) across a crash: the first plan's run kills the node,
 // later plans start with the node already dead and must still be exact.

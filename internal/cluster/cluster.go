@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -92,6 +93,31 @@ type Config struct {
 	// one peer after which it is declared dead and task-level recovery
 	// takes over its unfinished source ranges (default 3).
 	BreakerThreshold int
+
+	// Heartbeat runs a failure detector: one goroutine per machine pings
+	// every peer over the fabric and declares a peer suspect after
+	// HeartbeatMisses consecutive missed pings. Suspicion feeds the retry
+	// layer's dead-peer verdicts, so every worker fails fast against a dead
+	// machine instead of independently burning its retry budget. Implies
+	// Resilient.
+	Heartbeat bool
+	// HeartbeatInterval is the ping period per (node, peer) pair
+	// (default 20ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one ping round trip (default 2×interval).
+	HeartbeatTimeout time.Duration
+	// HeartbeatMisses is the consecutive-miss threshold for suspicion
+	// (default 3).
+	HeartbeatMisses int
+
+	// Speculate enables straggler speculation: the driver samples each
+	// engine's completed-root prefix, and once some machines sit idle it
+	// re-executes the slowest engine's unfinished roots on an idle machine.
+	// Whichever copy completes the tail first wins; counts are reconciled
+	// at range granularity so the result is bit-identical to a run without
+	// speculation. Requires concurrently running machines and counting
+	// sinks; implies Resilient.
+	Speculate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +133,8 @@ func (c Config) withDefaults() Config {
 	if c.CacheDegreeThreshold == 0 {
 		c.CacheDegreeThreshold = 64
 	}
-	if c.Fault != nil || c.FetchTimeout > 0 || c.FetchRetries > 0 || c.BreakerThreshold > 0 {
+	if c.Fault != nil || c.FetchTimeout > 0 || c.FetchRetries > 0 || c.BreakerThreshold > 0 ||
+		c.Heartbeat || c.Speculate {
 		c.Resilient = true
 	}
 	if c.Resilient {
@@ -136,6 +163,10 @@ type Cluster struct {
 	// the fabric stack; nil when resilience is disabled.
 	injector  *fault.Injector
 	resilient *comm.Resilient
+	// detector is the heartbeat failure detector; nil unless Heartbeat is
+	// configured. It runs for the cluster's whole lifetime over the
+	// original fabric stack.
+	detector *comm.Detector
 }
 
 // New partitions g across the configured machines and opens the fabric.
@@ -162,6 +193,25 @@ func New(g *graph.Graph, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.fabric = fabric
+	if cfg.Heartbeat {
+		// The detector pings through the full fabric stack (including the
+		// fault injector) so crashes and partitions are felt exactly as data
+		// traffic feels them. A crashed machine's own detector goroutine
+		// stops accusing peers — a dead process's timers stop firing.
+		var selfDead func(int) bool
+		if c.injector != nil {
+			selfDead = c.injector.Crashed
+		}
+		c.detector = comm.NewDetector(c.fabric, cfg.NumNodes, comm.DetectorConfig{
+			Interval: cfg.HeartbeatInterval,
+			Timeout:  cfg.HeartbeatTimeout,
+			Misses:   cfg.HeartbeatMisses,
+		}, c.met, selfDead)
+		if c.resilient != nil {
+			c.resilient.SetSuspector(c.detector.Suspected)
+		}
+		c.detector.Start()
+	}
 	return c, nil
 }
 
@@ -208,6 +258,11 @@ func (c *Cluster) buildFabric(servers []comm.Server) (comm.Fabric, error) {
 				r.MarkDead(n)
 			}
 		}
+		if c.detector != nil {
+			// Fabric rebuilds (recovery rounds) keep consuming the running
+			// detector's verdicts.
+			r.SetSuspector(c.detector.Suspected)
+		}
 		c.resilient = r
 		fabric = r
 	}
@@ -222,8 +277,13 @@ func seedOf(p *fault.Profile) int64 {
 	return p.Seed
 }
 
-// Close releases the fabric.
-func (c *Cluster) Close() error { return c.fabric.Close() }
+// Close stops the failure detector (if any) and releases the fabric.
+func (c *Cluster) Close() error {
+	if c.detector != nil {
+		c.detector.Stop()
+	}
+	return c.fabric.Close()
+}
 
 // Graph returns the input graph.
 func (c *Cluster) Graph() *graph.Graph { return c.g }
@@ -301,6 +361,13 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 	if c.cfg.Resilient {
 		trackers = make([]*rangeTracker, c.cfg.NumNodes*c.cfg.Sockets)
 	}
+	// Straggler speculation needs concurrently running machines (an idle
+	// survivor to speculate onto) and full checkpoint tracking; the
+	// speculator stays inert when either is missing.
+	var spec *speculator
+	if c.cfg.Speculate && !c.cfg.SequentialNodes && trackers != nil {
+		spec = newSpeculator(c, pl, labelOf, edgeLabelOf)
+	}
 	var engines []*core.Engine
 	for node := 0; node < c.cfg.NumNodes; node++ {
 		for socket := 0; socket < c.cfg.Sockets; socket++ {
@@ -325,6 +392,11 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 					onRange = tr.onRangeDone
 				}
 			}
+			var canceled func() bool
+			if spec != nil {
+				slot := slot
+				canceled = func() bool { return spec.canceled(slot) }
+			}
 			ext := core.NewPlanExtender(pl, labelOf)
 			ext.EdgeLabelOf = edgeLabelOf
 			eng := core.NewEngine(ext, src, sink, core.Config{
@@ -337,6 +409,7 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 				Cache:          ca,
 				Metrics:        c.met.Nodes[node],
 				OnRangeDone:    onRange,
+				Canceled:       canceled,
 			})
 			if c.cfg.SequentialNodes {
 				engines = append(engines, eng)
@@ -345,7 +418,11 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[slot] = eng.Run()
+				err := eng.Run()
+				errs[slot] = err
+				if spec != nil {
+					spec.slotDone(slot, err)
+				}
 			}()
 		}
 	}
@@ -354,18 +431,31 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 			errs[slot] = eng.Run()
 		}
 	} else {
+		if spec != nil {
+			spec.begin(trackers)
+		}
 		wg.Wait()
+	}
+	var overrides map[int]uint64
+	if spec != nil {
+		overrides = spec.finish(errs)
 	}
 
 	// Classify failures: a fetch failure caused by a dead peer, exhausted
 	// retries or an injected crash is recoverable when every slot has a
-	// committed-count checkpoint; anything else aborts the run.
+	// committed-count checkpoint; anything else aborts the run. A slot
+	// cancelled by a winning speculative copy is resolved by its override —
+	// unless some other slot pushes the run into recovery, which discards
+	// speculation and re-executes past each checkpoint instead.
 	recovering := false
 	for slot, err := range errs {
 		if err == nil {
 			continue
 		}
-		if recoverableError(err) && allTracked(trackers) {
+		if _, won := overrides[slot]; won && errors.Is(err, core.ErrCanceled) {
+			continue
+		}
+		if (recoverableError(err) || errors.Is(err, core.ErrCanceled)) && allTracked(trackers) {
 			recovering = true
 			continue
 		}
@@ -383,7 +473,14 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 		res.RecoveryRounds = rec.rounds
 		res.DeadNodes = rec.dead
 	} else {
-		for _, s := range sinks {
+		for slot, s := range sinks {
+			// A speculation-won slot's sink holds only the straggler's
+			// partial count (plus uncommitted work past its last boundary);
+			// the reconciled override is the slot's exact total.
+			if n, ok := overrides[slot]; ok {
+				res.Count += n
+				continue
+			}
 			if cs, ok := s.(*core.CountSink); ok {
 				res.Count += cs.Count()
 			}
@@ -440,6 +537,12 @@ func (c *Cluster) CountAll(pls []*plan.Plan) ([]Result, Result, error) {
 		combined.Summary.BreakerTrips += r.Summary.BreakerTrips
 		combined.Summary.FaultsInjected += r.Summary.FaultsInjected
 		combined.Summary.RecoveredRoots += r.Summary.RecoveredRoots
+		combined.Summary.CorruptFrames += r.Summary.CorruptFrames
+		combined.Summary.Redials += r.Summary.Redials
+		combined.Summary.HeartbeatMisses += r.Summary.HeartbeatMisses
+		combined.Summary.NodesSuspected += r.Summary.NodesSuspected
+		combined.Summary.SpeculativeRanges += r.Summary.SpeculativeRanges
+		combined.Summary.SpeculationWins += r.Summary.SpeculationWins
 		combined.RecoveryRounds += r.RecoveryRounds
 		combined.DeadNodes = unionNodes(combined.DeadNodes, r.DeadNodes)
 	}

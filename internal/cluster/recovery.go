@@ -30,17 +30,30 @@ const maxRecoveryRounds = 8
 
 // rangeTracker is one engine slot's checkpoint: the prefix of its root list
 // explored to completion and the sink count committed at that point. Written
-// by the engine goroutine via OnRangeDone, read by the driver only after the
-// engine has finished (ordered by WaitGroup), so no locking is needed.
+// by the engine goroutine via OnRangeDone; read by the driver after the
+// engine has finished, and — under straggler speculation — sampled mid-run
+// by the monitor goroutine, hence the mutex: prefix and committed must be
+// observed as one consistent pair.
 type rangeTracker struct {
 	sink      *core.CountSink
+	mu        sync.Mutex
 	prefix    int
 	committed uint64
 }
 
 func (t *rangeTracker) onRangeDone(start, end int) {
+	n := t.sink.Count()
+	t.mu.Lock()
 	t.prefix = end
-	t.committed = t.sink.Count()
+	t.committed = n
+	t.mu.Unlock()
+}
+
+// snapshot returns the latest (prefix, committed) checkpoint pair.
+func (t *rangeTracker) snapshot() (int, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.prefix, t.committed
 }
 
 // recoverableError reports whether a fetch failure can be repaired by
@@ -186,12 +199,13 @@ func (c *Cluster) recoverRun(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf 
 	var rec recovery
 	var pending []graph.VertexID
 	for slot, tr := range trackers {
-		rec.count += tr.committed
+		prefix, committed := tr.snapshot()
+		rec.count += committed
 		if errs[slot] == nil {
 			continue
 		}
 		roots := c.rootsOf(slot/c.cfg.Sockets, slot%c.cfg.Sockets)
-		pending = append(pending, roots[tr.prefix:]...)
+		pending = append(pending, roots[prefix:]...)
 	}
 	for len(pending) > 0 {
 		rec.rounds++

@@ -39,6 +39,14 @@ type Fabric interface {
 	Close() error
 }
 
+// Pinger is implemented by fabrics that can carry heartbeat probes. Pings
+// are control traffic: they round-trip through the transport (and through
+// any fault-injecting wrapper) but are excluded from byte accounting so
+// experiment traffic numbers stay payload-only.
+type Pinger interface {
+	Ping(from, to int) error
+}
+
 // RequestBytes returns the accounted wire size of a fetch request.
 func RequestBytes(numIDs int) uint64 { return 4 + 4*uint64(numIDs) }
 
@@ -87,6 +95,14 @@ func (l *Local) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, e
 	lists := l.servers[to].ServeEdgeLists(ids)
 	account(l.m, from, to, RequestBytes(len(ids)), ResponseBytes(lists))
 	return lists, nil
+}
+
+// Ping implements Pinger: an in-process peer is reachable iff it exists.
+func (l *Local) Ping(from, to int) error {
+	if to < 0 || to >= len(l.servers) {
+		return fmt.Errorf("comm: ping to unknown node %d", to)
+	}
+	return nil
 }
 
 // Close implements Fabric.

@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"khuzdul/internal/graph"
+)
+
+// The wire decoders face bytes straight off a socket; fuzzing asserts they
+// never panic, never over-allocate on lying length prefixes, and accept only
+// payloads that re-encode to the exact same bytes (the format is canonical).
+
+func FuzzReadIDs(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(encodeIDs(nil, nil))
+	f.Add(encodeIDs(nil, []graph.VertexID{0, 1, 2, 0xFFFFFFFF}))
+	f.Add(binary.LittleEndian.AppendUint32(nil, maxFrameEntries+1))
+	f.Add([]byte{2, 0, 0, 0, 7, 7, 7}) // count says 2, bytes say less
+	f.Fuzz(func(t *testing.T, p []byte) {
+		ids, err := decodeIDs(p)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("decodeIDs rejection is not ErrCorruptFrame: %v", err)
+			}
+			return
+		}
+		if re := encodeIDs(nil, ids); !bytes.Equal(re, p) {
+			t.Fatalf("accepted %d bytes that re-encode to %d different bytes", len(p), len(re))
+		}
+	})
+}
+
+func FuzzReadLists(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(encodeLists(nil, nil))
+	f.Add(encodeLists(nil, [][]graph.VertexID{{1, 2}, {}, {3}}))
+	f.Add(binary.LittleEndian.AppendUint32(nil, maxFrameEntries+1))
+	f.Add(append(encodeLists(nil, [][]graph.VertexID{{9}}), 0xEE)) // trailing byte
+	f.Fuzz(func(t *testing.T, p []byte) {
+		lists, err := decodeLists(p)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("decodeLists rejection is not ErrCorruptFrame: %v", err)
+			}
+			return
+		}
+		if re := encodeLists(nil, lists); !bytes.Equal(re, p) {
+			t.Fatalf("accepted %d bytes that re-encode to %d different bytes", len(p), len(re))
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	valid := func(typ uint8, payload []byte) []byte {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		writeFrame(w, 1, typ, payload, -1)
+		w.Flush()
+		return buf.Bytes()
+	}
+	f.Add([]byte(nil))
+	f.Add(valid(framePing, nil))
+	f.Add(valid(frameRequest, encodeIDs(nil, []graph.VertexID{1, 2, 3})))
+	f.Add(valid(frameHello, encodeHello(ProtoVersionMin, ProtoVersionMax, 0)))
+	huge := valid(framePing, nil)
+	binary.LittleEndian.PutUint32(huge[4:], maxFramePayload+1)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)), 0)
+		if err != nil {
+			ok := errors.Is(err, ErrCorruptFrame) ||
+				errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+			if !ok {
+				t.Fatalf("readFrame rejection is neither integrity nor IO error: %v", err)
+			}
+			return
+		}
+		if typ < frameHello || typ > frameError {
+			t.Fatalf("readFrame accepted unknown frame type %#02x", typ)
+		}
+		// An accepted frame must re-serialize to a prefix of the input.
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		writeFrame(w, data[2], typ, payload, -1)
+		w.Flush()
+		if !bytes.Equal(buf.Bytes(), data[:len(buf.Bytes())]) {
+			t.Fatal("accepted frame does not round-trip")
+		}
+	})
+}

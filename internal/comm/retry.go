@@ -70,6 +70,11 @@ type Resilient struct {
 	cfg   RetryConfig
 	m     *metrics.Cluster
 	dead  []atomic.Bool
+	// suspect, when set, contributes external death verdicts (the heartbeat
+	// failure detector) to Dead: a suspected peer fails fast for every
+	// worker at once, before any of them burns a retry budget against it.
+	// Set before the fabric is shared across goroutines.
+	suspect func(node int) bool
 	// consec counts consecutive timed-out attempts per peer; any successful
 	// attempt resets it.
 	consec []atomic.Int64
@@ -88,16 +93,26 @@ func NewResilient(inner Fabric, numNodes int, cfg RetryConfig, m *metrics.Cluste
 	}
 }
 
-// Dead reports whether the breaker has declared node dead.
+// SetSuspector installs an external death oracle (the heartbeat failure
+// detector) consulted alongside the breaker. Call before sharing the fabric
+// across goroutines.
+func (r *Resilient) SetSuspector(suspect func(node int) bool) { r.suspect = suspect }
+
+// Dead reports whether the breaker or the failure detector has declared
+// node dead.
 func (r *Resilient) Dead(node int) bool {
-	return node >= 0 && node < len(r.dead) && r.dead[node].Load()
+	if node < 0 || node >= len(r.dead) {
+		return false
+	}
+	return r.dead[node].Load() || (r.suspect != nil && r.suspect(node))
 }
 
-// DeadNodes returns every peer declared dead so far, ascending.
+// DeadNodes returns every peer declared dead so far — by the breaker or by
+// the failure detector — ascending.
 func (r *Resilient) DeadNodes() []int {
 	var out []int
 	for i := range r.dead {
-		if r.dead[i].Load() {
+		if r.Dead(i) {
 			out = append(out, i)
 		}
 	}
@@ -196,6 +211,16 @@ func (r *Resilient) backoff(attempt int) time.Duration {
 	}
 	h := retryMix(uint64(r.cfg.Seed), r.seq.Add(1))
 	return d/2 + time.Duration(h%uint64(d/2+1))
+}
+
+// Ping implements Pinger by delegating to the inner transport. Heartbeats
+// bypass the retry/breaker discipline: the detector owns its own timeout
+// and miss accounting.
+func (r *Resilient) Ping(from, to int) error {
+	if p, ok := r.inner.(Pinger); ok {
+		return p.Ping(from, to)
+	}
+	return nil
 }
 
 // Close implements Fabric.

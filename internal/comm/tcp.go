@@ -2,11 +2,11 @@ package comm
 
 import (
 	"bufio"
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"khuzdul/internal/graph"
@@ -26,40 +26,64 @@ const DefaultIOTimeout = 30 * time.Second
 const maxFrameEntries = 1 << 26
 
 // TCP is a loopback-socket fabric: each simulated machine runs a responder
-// listening on 127.0.0.1, and fetches are length-prefixed little-endian
-// frames over real TCP connections. It exercises genuine serialization,
-// syscalls and kernel buffering — the closest laptop equivalent of the
-// paper's MPI communication subsystem.
+// listening on 127.0.0.1, and every exchange travels in integrity-checked
+// frames (see frame.go) over real TCP connections. Each connection opens
+// with a version handshake; payloads are CRC32C-checked on both ends, so
+// corruption surfaces as ErrCorruptFrame instead of mis-parsed counts. It
+// exercises genuine serialization, syscalls and kernel buffering — the
+// closest laptop equivalent of the paper's MPI communication subsystem.
 type TCP struct {
 	servers   []Server
 	m         *metrics.Cluster
 	listeners []net.Listener
 	addrs     []string
-	ioTimeout time.Duration
+	ioTimeout atomic.Int64 // nanoseconds; read by server goroutines
 
-	mu    sync.Mutex
-	conns map[[2]int]*tcpConn // keyed by {from,to}
+	// minVer/maxVer is the version window this fabric offers in handshakes
+	// (defaults to the build's window; narrowed only by tests).
+	minVer, maxVer uint8
+
+	// wireFaults, when set, injects byte-level corruption and mid-exchange
+	// connection drops (fault-injection hook; nil costs one comparison).
+	wireFaults WireFaults
+
+	mu     sync.Mutex
+	conns  map[connKey]*tcpConn
+	dialed map[connKey]bool // pairs dialed at least once, for Redials
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
+// connKey identifies one client connection: the {from,to} pair plus a
+// channel class (0 = fetch traffic, 1 = heartbeat pings), so pings never
+// queue behind a slow bulk exchange.
+type connKey struct {
+	from, to int
+	class    int
+}
+
 type tcpConn struct {
-	mu sync.Mutex // serializes request/response pairs on this connection
-	c  net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+	mu      sync.Mutex // serializes request/response pairs on this connection
+	c       net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	version uint8  // negotiated protocol version
+	buf     []byte // reusable payload encode buffer
 }
 
 // NewTCP starts one loopback listener per node and returns the fabric.
 func NewTCP(servers []Server, m *metrics.Cluster) (*TCP, error) {
 	t := &TCP{
-		servers:   servers,
-		m:         m,
-		conns:     map[[2]int]*tcpConn{},
-		closed:    make(chan struct{}),
-		ioTimeout: DefaultIOTimeout,
+		servers: servers,
+		m:       m,
+		conns:   map[connKey]*tcpConn{},
+		dialed:  map[connKey]bool{},
+		closed:  make(chan struct{}),
+		minVer:  ProtoVersionMin,
+		maxVer:  ProtoVersionMax,
 	}
+	t.ioTimeout.Store(int64(DefaultIOTimeout))
 	for node := range servers {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -87,94 +111,213 @@ func (t *TCP) acceptLoop(node int, ln net.Listener) {
 }
 
 // SetIOTimeout sets the per-operation socket deadline for subsequent
-// fetches (0 disables deadlines). Call before sharing the fabric across
-// goroutines.
-func (t *TCP) SetIOTimeout(d time.Duration) { t.ioTimeout = d }
+// fetches (0 disables deadlines).
+func (t *TCP) SetIOTimeout(d time.Duration) { t.ioTimeout.Store(int64(d)) }
+
+// SetWireFaults installs the byte-level fault hooks (fault injection). Call
+// before sharing the fabric across goroutines.
+func (t *TCP) SetWireFaults(wf WireFaults) { t.wireFaults = wf }
 
 // deadline arms a read or write deadline on c, or clears it when the
 // fabric's IO timeout is disabled.
 func (t *TCP) deadline(set func(time.Time) error) {
-	if t.ioTimeout > 0 {
-		set(time.Now().Add(t.ioTimeout))
+	if d := time.Duration(t.ioTimeout.Load()); d > 0 {
+		set(time.Now().Add(d))
 	} else {
 		set(time.Time{})
 	}
 }
 
-// serveConn answers framed requests on one inbound connection.
+// serveConn performs the server half of the handshake, then answers framed
+// requests and pings on one inbound connection.
 func (t *TCP) serveConn(node int, c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
+
+	// Handshake: the client leads with HELLO; pick the highest common
+	// version or close (no overlap means the peer speaks a different
+	// protocol generation).
+	t.deadline(c.SetReadDeadline)
+	typ, payload, err := readFrame(r, 0)
+	if err != nil || typ != frameHello {
+		return
+	}
+	peerMin, peerMax, _, err := decodeHello(payload)
+	if err != nil {
+		return
+	}
+	version := negotiateVersion(t.minVer, t.maxVer, peerMin, peerMax)
+	if version == 0 {
+		return
+	}
+	t.deadline(c.SetWriteDeadline)
+	if err := writeFrame(w, version, frameHelloAck, []byte{version}, -1); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+
+	var buf []byte
 	for {
 		// No read deadline here: a client connection legitimately idles
 		// between requests. Writes are bounded so a stalled client cannot
 		// pin the responder goroutine.
-		ids, err := readIDs(r)
+		c.SetReadDeadline(time.Time{})
+		typ, payload, err := readFrame(r, version)
 		if err != nil {
-			return // EOF or peer closed
-		}
-		lists := t.servers[node].ServeEdgeLists(ids)
-		t.deadline(c.SetWriteDeadline)
-		if err := writeLists(w, lists); err != nil {
+			if isCorrupt(err) {
+				// Integrity check caught a damaged request: account it,
+				// tell the client (best effort), and drop the stream — its
+				// framing can no longer be trusted.
+				if t.m != nil {
+					t.m.Nodes[node].CorruptFrames.Add(1)
+				}
+				t.deadline(c.SetWriteDeadline)
+				writeFrame(w, version, frameError, nil, -1)
+				w.Flush()
+			}
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
+		switch typ {
+		case framePing:
+			t.deadline(c.SetWriteDeadline)
+			if writeFrame(w, version, framePong, nil, -1) != nil || w.Flush() != nil {
+				return
+			}
+		case frameRequest:
+			ids, err := decodeIDs(payload)
+			if err != nil {
+				if t.m != nil {
+					t.m.Nodes[node].CorruptFrames.Add(1)
+				}
+				t.deadline(c.SetWriteDeadline)
+				writeFrame(w, version, frameError, nil, -1)
+				w.Flush()
+				return
+			}
+			lists := t.servers[node].ServeEdgeLists(ids)
+			buf = encodeLists(buf[:0], lists)
+			t.deadline(c.SetWriteDeadline)
+			if writeFrame(w, version, frameResponse, buf, -1) != nil || w.Flush() != nil {
+				return
+			}
+		default:
+			return // protocol violation
 		}
 	}
 }
 
+// isCorrupt reports whether err is an integrity-check failure (as opposed to
+// EOF or a socket error).
+func isCorrupt(err error) bool {
+	return errors.Is(err, ErrCorruptFrame)
+}
+
 // Fetch implements Fabric.
 func (t *TCP) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
-	conn, err := t.conn(from, to)
+	conn, err := t.conn(from, to, 0)
 	if err != nil {
 		return nil, err
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	lists, err := t.exchange(conn, ids)
+	lists, err := t.exchange(conn, from, to, ids)
 	if err != nil {
 		// The stream may be mid-frame; drop the connection so a retry
 		// redials instead of resuming on broken framing.
-		t.dropConn(from, to, conn)
+		t.dropConn(connKey{from, to, 0}, conn)
 		return nil, fmt.Errorf("comm: fetch %d->%d: %w", from, to, err)
 	}
 	account(t.m, from, to, RequestBytes(len(ids)), ResponseBytes(lists))
 	return lists, nil
 }
 
-// exchange performs one request/response pair on a held connection.
-func (t *TCP) exchange(conn *tcpConn, ids []graph.VertexID) ([][]graph.VertexID, error) {
+// exchange performs one request/response pair on a held connection,
+// applying any injected wire faults.
+func (t *TCP) exchange(conn *tcpConn, from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	conn.buf = encodeIDs(conn.buf[:0], ids)
+	corrupt := -1
+	if t.wireFaults != nil && t.wireFaults.CorruptFrame(from, to) {
+		corrupt = len(conn.buf) / 2
+	}
 	t.deadline(conn.c.SetWriteDeadline)
-	if err := writeIDs(conn.w, ids); err != nil {
+	if err := writeFrame(conn.w, conn.version, frameRequest, conn.buf, corrupt); err != nil {
 		return nil, fmt.Errorf("send: %w", err)
 	}
 	if err := conn.w.Flush(); err != nil {
 		return nil, fmt.Errorf("flush: %w", err)
 	}
+	if t.wireFaults != nil && t.wireFaults.DropAfterSend(from, to) {
+		// Sever the connection mid-exchange: the request may or may not have
+		// been served, the response is lost either way.
+		conn.c.Close()
+	}
 	t.deadline(conn.c.SetReadDeadline)
-	lists, err := readLists(conn.r)
+	typ, payload, err := readFrame(conn.r, conn.version)
 	if err != nil {
+		if isCorrupt(err) && t.m != nil {
+			t.m.Nodes[from].CorruptFrames.Add(1)
+		}
 		return nil, fmt.Errorf("response: %w", err)
 	}
-	return lists, nil
+	switch typ {
+	case frameResponse:
+		return decodeLists(payload)
+	case frameError:
+		// The server rejected our request as corrupt; surface it as the
+		// retryable integrity error it is.
+		return nil, fmt.Errorf("server rejected request: %w", ErrCorruptFrame)
+	default:
+		return nil, fmt.Errorf("unexpected frame type %#02x in response: %w", typ, ErrCorruptFrame)
+	}
+}
+
+// Ping performs one heartbeat round trip on the dedicated ping connection
+// for the pair. Pings are control traffic: they are framed and
+// CRC-protected like everything else but excluded from byte accounting.
+func (t *TCP) Ping(from, to int) error {
+	conn, err := t.conn(from, to, 1)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	t.deadline(conn.c.SetWriteDeadline)
+	if err := writeFrame(conn.w, conn.version, framePing, nil, -1); err == nil {
+		err = conn.w.Flush()
+	} else {
+		t.dropConn(connKey{from, to, 1}, conn)
+		return fmt.Errorf("comm: ping %d->%d: %w", from, to, err)
+	}
+	t.deadline(conn.c.SetReadDeadline)
+	typ, _, err := readFrame(conn.r, conn.version)
+	if err != nil || typ != framePong {
+		t.dropConn(connKey{from, to, 1}, conn)
+		if err == nil {
+			err = fmt.Errorf("unexpected frame type %#02x: %w", typ, ErrCorruptFrame)
+		}
+		return fmt.Errorf("comm: ping %d->%d: %w", from, to, err)
+	}
+	return nil
 }
 
 // dropConn closes and forgets a connection whose stream state is suspect.
-func (t *TCP) dropConn(from, to int, conn *tcpConn) {
+func (t *TCP) dropConn(key connKey, conn *tcpConn) {
 	conn.c.Close()
 	t.mu.Lock()
-	if t.conns[[2]int{from, to}] == conn {
-		delete(t.conns, [2]int{from, to})
+	if t.conns[key] == conn {
+		delete(t.conns, key)
 	}
 	t.mu.Unlock()
 }
 
-// conn returns (dialing if necessary) the connection for the ordered pair.
-func (t *TCP) conn(from, to int) (*tcpConn, error) {
-	key := [2]int{from, to}
+// conn returns (dialing and handshaking if necessary) the connection for
+// the ordered pair and channel class.
+func (t *TCP) conn(from, to, class int) (*tcpConn, error) {
+	key := connKey{from, to, class}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c, ok := t.conns[key]; ok {
@@ -183,13 +326,52 @@ func (t *TCP) conn(from, to int) (*tcpConn, error) {
 	if to < 0 || to >= len(t.addrs) {
 		return nil, fmt.Errorf("comm: fetch to unknown node %d", to)
 	}
+	if t.dialed[key] {
+		// This pair had a live connection before; re-establishing it is a
+		// redial (connection drop, corruption teardown, or peer restart).
+		if t.m != nil && from >= 0 && from < len(t.m.Nodes) {
+			t.m.Nodes[from].Redials.Add(1)
+		}
+	}
 	c, err := net.Dial("tcp", t.addrs[to])
 	if err != nil {
 		return nil, fmt.Errorf("comm: dial node %d: %w", to, err)
 	}
 	tc := &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	if err := t.handshake(tc, from); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("comm: handshake with node %d: %w", to, err)
+	}
+	t.dialed[key] = true
 	t.conns[key] = tc
 	return tc, nil
+}
+
+// handshake runs the client half of the version negotiation on a fresh
+// connection.
+func (t *TCP) handshake(conn *tcpConn, from int) error {
+	t.deadline(conn.c.SetWriteDeadline)
+	if err := writeFrame(conn.w, t.maxVer, frameHello, encodeHello(t.minVer, t.maxVer, from), -1); err != nil {
+		return err
+	}
+	if err := conn.w.Flush(); err != nil {
+		return err
+	}
+	t.deadline(conn.c.SetReadDeadline)
+	typ, payload, err := readFrame(conn.r, 0)
+	if err != nil {
+		// The server closes without an ack when the windows do not overlap.
+		return fmt.Errorf("%w (%v)", ErrVersionMismatch, err)
+	}
+	if typ != frameHelloAck || len(payload) != 1 {
+		return fmt.Errorf("bad hello ack: %w", ErrCorruptFrame)
+	}
+	v := payload[0]
+	if v < t.minVer || v > t.maxVer {
+		return fmt.Errorf("server chose unsupported version %d: %w", v, ErrVersionMismatch)
+	}
+	conn.version = v
+	return nil
 }
 
 // Close shuts down listeners and connections.
@@ -210,82 +392,4 @@ func (t *TCP) Close() error {
 	t.mu.Unlock()
 	t.wg.Wait()
 	return nil
-}
-
-// Wire format helpers. Frames match the accounted byte formulas exactly:
-// request = u32 count + count u32 IDs; response = u32 count + per list
-// (u32 len + len u32 vertices).
-
-func writeIDs(w *bufio.Writer, ids []graph.VertexID) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(ids))); err != nil {
-		return err
-	}
-	return binary.Write(w, binary.LittleEndian, ids)
-}
-
-func readIDs(r *bufio.Reader) ([]graph.VertexID, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	// Validate the announced count before allocating: a corrupt frame must
-	// become an error, not a multi-gigabyte make().
-	if n > maxFrameEntries {
-		return nil, fmt.Errorf("comm: request frame announces %d ids (max %d): corrupt frame", n, maxFrameEntries)
-	}
-	ids := make([]graph.VertexID, n)
-	if err := binary.Read(r, binary.LittleEndian, ids); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("comm: truncated request frame (want %d ids): %w", n, io.ErrUnexpectedEOF)
-		}
-		return nil, err
-	}
-	return ids, nil
-}
-
-func writeLists(w *bufio.Writer, lists [][]graph.VertexID) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(lists))); err != nil {
-		return err
-	}
-	for _, l := range lists {
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(l))); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, l); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func readLists(r *bufio.Reader) ([][]graph.VertexID, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if n > maxFrameEntries {
-		return nil, fmt.Errorf("comm: response frame announces %d lists (max %d): corrupt frame", n, maxFrameEntries)
-	}
-	lists := make([][]graph.VertexID, n)
-	for i := range lists {
-		var ln uint32
-		if err := binary.Read(r, binary.LittleEndian, &ln); err != nil {
-			if err == io.ErrUnexpectedEOF || err == io.EOF {
-				return nil, fmt.Errorf("comm: truncated response frame (list %d/%d header): %w", i, n, io.ErrUnexpectedEOF)
-			}
-			return nil, err
-		}
-		if ln > maxFrameEntries {
-			return nil, fmt.Errorf("comm: response frame announces %d-vertex list (max %d): corrupt frame", ln, maxFrameEntries)
-		}
-		l := make([]graph.VertexID, ln)
-		if err := binary.Read(r, binary.LittleEndian, l); err != nil {
-			if err == io.ErrUnexpectedEOF || err == io.EOF {
-				return nil, fmt.Errorf("comm: truncated response frame (list %d/%d, want %d vertices): %w", i, n, ln, io.ErrUnexpectedEOF)
-			}
-			return nil, err
-		}
-		lists[i] = l
-	}
-	return lists, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,6 +49,12 @@ type Config struct {
 	// (the chunk lifecycle of §3.3 makes lost work re-derivable from source
 	// vertices). Nil disables checkpointing at zero cost.
 	OnRangeDone func(start, end int)
+	// Canceled, when set, is polled between root ranges; when it returns true
+	// Run stops before starting the next range and returns ErrCanceled. The
+	// check sits only at range boundaries, so a cancelled engine always
+	// leaves a clean prefix of fully-explored ranges behind — the property
+	// straggler speculation relies on to reconcile counts exactly.
+	Canceled func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -140,11 +147,19 @@ func NewEngine(ext Extender, src DataSource, sink Sink, cfg Config) *Engine {
 	return e
 }
 
+// ErrCanceled is returned by Run when Config.Canceled reports true at a
+// range boundary. Every range completed before the cancellation has fully
+// reached the sink.
+var ErrCanceled = errors.New("core: engine canceled")
+
 // Run explores the embedding trees of every root this engine owns. It
 // blocks until exploration completes and returns the first fetch error.
 func (e *Engine) Run() error {
 	roots := e.src.Roots()
 	for start := 0; start < len(roots); start += e.cfg.ChunkSize {
+		if e.cfg.Canceled != nil && e.cfg.Canceled() {
+			return ErrCanceled
+		}
 		end := start + e.cfg.ChunkSize
 		if end > len(roots) {
 			end = len(roots)

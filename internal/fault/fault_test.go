@@ -196,6 +196,178 @@ func TestInjectedLatency(t *testing.T) {
 	}
 }
 
+func TestParseProfileWireAndTopologyKeys(t *testing.T) {
+	p, err := ParseProfile("seed=9,corrupt=0.01,drop=0.02,partition=0+1|2+3@100,slow=2:12.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CorruptRate != 0.01 || p.DropRate != 0.02 {
+		t.Fatalf("wire rates parsed as %+v", p)
+	}
+	if len(p.Partitions) != 1 {
+		t.Fatalf("partitions %+v", p.Partitions)
+	}
+	pa := p.Partitions[0]
+	if len(pa.A) != 2 || pa.A[0] != 0 || pa.A[1] != 1 ||
+		len(pa.B) != 2 || pa.B[0] != 2 || pa.B[1] != 3 || pa.After != 100 {
+		t.Fatalf("partition %+v", pa)
+	}
+	if len(p.Slowdowns) != 1 || p.Slowdowns[0] != (Slowdown{Node: 2, Factor: 12.5}) {
+		t.Fatalf("slowdowns %+v", p.Slowdowns)
+	}
+	// Round trip through String must preserve every facet.
+	q, err := ParseProfile(p.String())
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if q.CorruptRate != p.CorruptRate || q.DropRate != p.DropRate ||
+		len(q.Partitions) != 1 || len(q.Slowdowns) != 1 ||
+		q.Partitions[0].After != 100 || q.Slowdowns[0].Factor != 12.5 {
+		t.Fatalf("round trip lost facets: %q -> %+v", p.String(), q)
+	}
+	bad := []string{
+		"corrupt=2", "corrupt=x", "drop=-0.5",
+		"partition=0|@5", "partition=|1@5", "partition=0|1", "partition=0@5",
+		"partition=0|0@5", "partition=a|1@5", "partition=0|1@x",
+		"slow=1:0", "slow=1:-2", "slow=1", "slow=x:2", "slow=-1:2",
+	}
+	for _, spec := range bad {
+		if _, err := ParseProfile(spec); err == nil {
+			t.Fatalf("ParseProfile(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPartitionAsymmetric(t *testing.T) {
+	g := graph.RMATDefault(100, 400, 5)
+	asg := partition.NewAssignment(2, 1)
+	in := NewInjector(Profile{Seed: 1, Partitions: []Partition{{A: []int{0}, B: []int{1}, After: 2}}}, 2, nil)
+	f := in.Wrap(testFabric(g, 2, nil))
+	var v0, v1 graph.VertexID
+	for u := 0; u < g.NumVertices(); u++ {
+		id := graph.VertexID(u)
+		if asg.Owner(id) == 0 {
+			v0 = id
+		} else {
+			v1 = id
+		}
+	}
+	// The first two fetches pass; they also advance the trigger counter.
+	for i := 0; i < 2; i++ {
+		if _, err := f.Fetch(0, 1, []graph.VertexID{v1}); err != nil {
+			t.Fatalf("fetch %d before partition: %v", i, err)
+		}
+	}
+	// The reverse direction keeps working even after the trigger: the
+	// partition is asymmetric, only A→B traffic vanishes.
+	if _, err := f.Fetch(1, 0, []graph.VertexID{v0}); err != nil {
+		t.Fatalf("B→A fetch during partition: %v", err)
+	}
+	// A→B now hangs until the fabric is torn down.
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Fetch(0, 1, []graph.VertexID{v1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("partitioned fetch returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Close()
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-close error = %v, want ErrInjected", err)
+	}
+}
+
+func TestSlowdownDelaysOnlyStraggler(t *testing.T) {
+	g := graph.RMATDefault(100, 400, 5)
+	asg := partition.NewAssignment(2, 1)
+	in := NewInjector(Profile{Seed: 1, Slowdowns: []Slowdown{{Node: 0, Factor: 20}}}, 2, nil)
+	f := in.Wrap(testFabric(g, 2, nil))
+	defer f.Close()
+	var v0, v1 graph.VertexID
+	for u := 0; u < g.NumVertices(); u++ {
+		id := graph.VertexID(u)
+		if asg.Owner(id) == 0 {
+			v0 = id
+		} else {
+			v1 = id
+		}
+	}
+	// Straggler-issued fetches carry 20 × 200µs = 4ms each.
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := f.Fetch(0, 1, []graph.VertexID{v1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("5 straggler fetches in %v: slowdown not applied", elapsed)
+	}
+	// Fetches issued by healthy nodes (even toward the straggler) are not
+	// delayed: the straggler is slow to ask, not slow to answer.
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := f.Fetch(1, 0, []graph.VertexID{v0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("5 healthy fetches took %v: slowdown leaked to the wrong node", elapsed)
+	}
+}
+
+func TestSyntheticWireFaultsDeterministic(t *testing.T) {
+	// Over a fabric with no byte-level fault surface (Local), corrupt and
+	// drop inject their detection outcomes synthetically, with the documented
+	// error classes and a schedule fixed by the seed.
+	run := func(seed int64) (corrupt, dropped []bool) {
+		g := graph.RMATDefault(100, 400, 5)
+		asg := partition.NewAssignment(2, 1)
+		m := metrics.NewCluster(2)
+		in := NewInjector(Profile{Seed: seed, CorruptRate: 0.15, DropRate: 0.15}, 2, m)
+		f := in.Wrap(testFabric(g, 2, m))
+		defer f.Close()
+		var v graph.VertexID
+		for u := 0; u < g.NumVertices(); u++ {
+			if asg.Owner(graph.VertexID(u)) == 1 {
+				v = graph.VertexID(u)
+				break
+			}
+		}
+		for i := 0; i < 200; i++ {
+			_, err := f.Fetch(0, 1, []graph.VertexID{v})
+			corrupt = append(corrupt, errors.Is(err, comm.ErrCorruptFrame))
+			dropped = append(dropped, errors.Is(err, ErrConnDropped))
+			if err != nil && !errors.Is(err, comm.ErrCorruptFrame) && !errors.Is(err, ErrConnDropped) {
+				t.Fatalf("fetch %d: unexpected error class %v", i, err)
+			}
+		}
+		if got := m.Summarize().CorruptFrames; got == 0 {
+			t.Fatal("no corrupt frames accounted")
+		}
+		return corrupt, dropped
+	}
+	c1, d1 := run(42)
+	c2, d2 := run(42)
+	nc, nd := 0, 0
+	for i := range c1 {
+		if c1[i] != c2[i] || d1[i] != d2[i] {
+			t.Fatalf("wire-fault decision %d differs across runs with equal seed", i)
+		}
+		if c1[i] {
+			nc++
+		}
+		if d1[i] {
+			nd++
+		}
+	}
+	if nc == 0 || nd == 0 {
+		t.Fatalf("degenerate schedule: %d corruptions, %d drops in 200 fetches", nc, nd)
+	}
+}
+
 func TestParseProfile(t *testing.T) {
 	p, err := ParseProfile("seed=7,err=0.05,latency=200us,crash=2@500,crash=3@900")
 	if err != nil {

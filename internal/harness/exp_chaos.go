@@ -10,11 +10,15 @@ import (
 )
 
 // Chaos experiment (beyond the paper's exhibits): the resilience subsystem's
-// cost and correctness. Four rows per workload: the plain cluster, the
-// resilience layer with no faults (its steady-state overhead), a transient
-// error storm absorbed by retries, and a mid-run permanent node crash
-// repaired by task-level recovery. Every faulted run must reproduce the
-// fault-free count exactly.
+// cost and correctness. The scenarios cover the full failure surface: the
+// plain cluster, the resilience layer with no faults (steady-state overhead),
+// a transient error storm absorbed by retries, a mid-run permanent node crash
+// repaired by task-level recovery, the TCP wire with its CRC-checked frame
+// protocol alone and with the heartbeat detector on top (protocol overhead),
+// real byte corruption and severed connections on that wire, an asymmetric
+// network partition, and a straggler node with and without speculative
+// re-execution. Every faulted run must reproduce the fault-free count
+// exactly.
 
 func init() {
 	register(Experiment{ID: "ablation-chaos", Title: "Fault injection, retries and task-level recovery (extra)", Run: runAblationChaos})
@@ -25,7 +29,7 @@ func runAblationChaos(o Options) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-chaos",
 		Title:  "chaos: resilience cost and recovery (k-GraphPi, lj)",
-		Header: []string{"App", "Scenario", "elapsed", "faults", "retries", "rec.rounds", "rec.roots", "dead"},
+		Header: []string{"App", "Scenario", "elapsed", "faults", "retries", "rec.rounds", "dead", "wire c/r", "hb m/s", "spec r/w"},
 	}
 	d, err := GetDataset("lj")
 	if err != nil {
@@ -34,9 +38,15 @@ func runAblationChaos(o Options) (*Table, error) {
 	g := d.Generate(o.Scale)
 
 	type scenario struct {
-		name      string
-		resilient bool
-		prof      *fault.Profile
+		name       string
+		resilient  bool
+		prof       *fault.Profile
+		transport  cluster.Transport
+		heartbeat  bool
+		speculate  bool
+		concurrent bool // run node slots concurrently (needed for speculation)
+		chunk      int  // root-range granularity override (0 = experiment default)
+		reps       int  // repetitions, keeping the fastest (0 = once)
 	}
 	scenarios := []scenario{
 		{name: "baseline"},
@@ -45,36 +55,78 @@ func runAblationChaos(o Options) (*Table, error) {
 		{name: "err=5% + crash n1", prof: &fault.Profile{
 			Seed: 7, ErrorRate: 0.05, Crashes: []fault.Crash{{Node: 1, After: 10}},
 		}},
+		// The two TCP rows form the protocol-overhead comparison; they are
+		// noise-sensitive, so each reports its best of three runs. The
+		// detector runs at a 50ms interval — brisk enough to beat the
+		// breaker's timeout path to a verdict by an order of magnitude,
+		// without 56 ping pairs competing with compute for cycles.
+		{name: "tcp wire (crc)", transport: cluster.TransportTCP, reps: 3},
+		{name: "tcp + heartbeat", transport: cluster.TransportTCP, heartbeat: true, reps: 3},
+		{name: "tcp corrupt+drop=2%", transport: cluster.TransportTCP, prof: &fault.Profile{
+			Seed: 7, CorruptRate: 0.02, DropRate: 0.02,
+		}},
+		{name: "partition 0+1+2|3", prof: &fault.Profile{
+			Seed: 7, Partitions: []fault.Partition{{A: []int{0, 1, 2}, B: []int{3}, After: 2}},
+		}},
+		// The straggler pair uses fine-grained root ranges: the straggler
+		// polls for cancellation only at range boundaries, so speculation's
+		// win shows up as soon as ranges are small enough to checkpoint often.
+		{name: "slow n1 x200", concurrent: true, resilient: true, chunk: 256, prof: &fault.Profile{
+			Seed: 7, Slowdowns: []fault.Slowdown{{Node: 1, Factor: 200}},
+		}},
+		{name: "slow n1 x200 + speculation", concurrent: true, speculate: true, chunk: 256, prof: &fault.Profile{
+			Seed: 7, Slowdowns: []fault.Slowdown{{Node: 1, Factor: 200}},
+		}},
 	}
 
+	elapsed := map[string]time.Duration{}
 	appsList := []appSpec{appTC}
 	if !o.Quick {
 		appsList = append(appsList, app4CC)
 	}
-	for _, a := range appsList {
+	for ai, a := range appsList {
 		var want uint64
 		for i, sc := range scenarios {
 			// A crash permanently poisons the injector, so every scenario gets
 			// a fresh cluster.
-			c, err := cluster.New(g, cluster.Config{
-				NumNodes:             o.Nodes,
-				ThreadsPerSocket:     o.Threads,
-				ChunkSize:            experimentChunkSize,
-				CacheFraction:        0.10,
-				CacheDegreeThreshold: 8,
-				SequentialNodes:      true,
-				Resilient:            sc.resilient,
-				Fault:                sc.prof,
-				FetchTimeout:         50 * time.Millisecond,
-				RetryBackoff:         200 * time.Microsecond,
-			})
-			if err != nil {
-				return nil, err
+			chunk := experimentChunkSize
+			if sc.chunk > 0 {
+				chunk = sc.chunk
 			}
-			r, err := runOnCluster(c, apps.KGraphPi, a)
-			c.Close()
-			if err != nil {
-				return nil, err
+			var r cluster.Result
+			reps := max(sc.reps, 1)
+			for rep := 0; rep < reps; rep++ {
+				c, err := cluster.New(g, cluster.Config{
+					NumNodes:             o.Nodes,
+					ThreadsPerSocket:     o.Threads,
+					ChunkSize:            chunk,
+					CacheFraction:        0.10,
+					CacheDegreeThreshold: 8,
+					SequentialNodes:      !sc.concurrent,
+					Transport:            sc.transport,
+					Resilient:            sc.resilient,
+					Heartbeat:            sc.heartbeat,
+					HeartbeatInterval:    50 * time.Millisecond,
+					Speculate:            sc.speculate,
+					Fault:                sc.prof,
+					FetchTimeout:         50 * time.Millisecond,
+					RetryBackoff:         200 * time.Microsecond,
+				})
+				if err != nil {
+					return nil, err
+				}
+				got, err := runOnCluster(c, apps.KGraphPi, a)
+				c.Close()
+				if err != nil {
+					return nil, err
+				}
+				if rep > 0 && got.Count != r.Count {
+					return nil, fmt.Errorf("ablation-chaos %s %q: count varies across reps: %d vs %d",
+						a.name, sc.name, got.Count, r.Count)
+				}
+				if rep == 0 || got.Elapsed < r.Elapsed {
+					r = got
+				}
 			}
 			if i == 0 {
 				want = r.Count
@@ -82,12 +134,25 @@ func runAblationChaos(o Options) (*Table, error) {
 				return nil, fmt.Errorf("ablation-chaos %s %q: count %d, want %d",
 					a.name, sc.name, r.Count, want)
 			}
+			if ai == 0 {
+				elapsed[sc.name] = r.Elapsed
+			}
 			t.AddRow(a.name, sc.name, elapsedStr(r.Elapsed),
 				FmtCount(r.Summary.FaultsInjected), FmtCount(r.Summary.FetchRetries),
-				fmt.Sprintf("%d", r.RecoveryRounds), FmtCount(r.Summary.RecoveredRoots),
-				fmt.Sprintf("%v", r.DeadNodes))
+				fmt.Sprintf("%d", r.RecoveryRounds),
+				fmt.Sprintf("%v", r.DeadNodes),
+				fmt.Sprintf("%d/%d", r.Summary.CorruptFrames, r.Summary.Redials),
+				fmt.Sprintf("%d/%d", r.Summary.HeartbeatMisses, r.Summary.NodesSuspected),
+				fmt.Sprintf("%d/%d", r.Summary.SpeculativeRanges, r.Summary.SpeculationWins))
 		}
 	}
 	t.AddNote("all scenarios reproduce the fault-free count exactly; recovery re-executes only unfinished source-vertex ranges on survivors")
+	if base, hb := elapsed["tcp wire (crc)"], elapsed["tcp + heartbeat"]; base > 0 {
+		t.AddNote("CRC-framed TCP + heartbeat overhead vs CRC-framed TCP alone: %+.1f%%",
+			100*(float64(hb)-float64(base))/float64(base))
+	}
+	if slow, spec := elapsed["slow n1 x200"], elapsed["slow n1 x200 + speculation"]; spec > 0 {
+		t.AddNote("speculation vs straggler-bound run: %.2fx elapsed", float64(slow)/float64(spec))
+	}
 	return t, nil
 }

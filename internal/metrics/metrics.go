@@ -32,6 +32,12 @@ type Node struct {
 	BreakerTrips       atomic.Uint64 // resilience: peers this node's circuit breaker declared dead
 	FaultsInjected     atomic.Uint64 // resilience: transient faults injected into this node's fetches
 	RecoveredRoots     atomic.Uint64 // resilience: source vertices re-executed on this node during recovery
+	CorruptFrames      atomic.Uint64 // wire integrity: frames this node rejected on a CRC/header mismatch
+	Redials            atomic.Uint64 // wire integrity: TCP connections this node re-established after a drop
+	HeartbeatMisses    atomic.Uint64 // failure detector: pings from this node that timed out or failed
+	NodesSuspected     atomic.Uint64 // failure detector: peers this node's detector declared suspect
+	SpeculativeRanges  atomic.Uint64 // speculation: straggler root ranges this node re-executed speculatively
+	SpeculationWins    atomic.Uint64 // speculation: speculative re-executions that finished before the straggler
 	// PeakEmbeddings is the high-water mark of simultaneously allocated
 	// extendable embeddings across this machine's live chunks — the
 	// quantity the paper's §4.2 bounded-memory argument is about.
@@ -75,6 +81,12 @@ func (n *Node) Reset() {
 	n.BreakerTrips.Store(0)
 	n.FaultsInjected.Store(0)
 	n.RecoveredRoots.Store(0)
+	n.CorruptFrames.Store(0)
+	n.Redials.Store(0)
+	n.HeartbeatMisses.Store(0)
+	n.NodesSuspected.Store(0)
+	n.SpeculativeRanges.Store(0)
+	n.SpeculationWins.Store(0)
 	n.PeakEmbeddings.Store(0)
 	n.computeNS.Store(0)
 	n.networkNS.Store(0)
@@ -173,6 +185,12 @@ type Summary struct {
 	BreakerTrips       uint64
 	FaultsInjected     uint64
 	RecoveredRoots     uint64
+	CorruptFrames      uint64
+	Redials            uint64
+	HeartbeatMisses    uint64
+	NodesSuspected     uint64
+	SpeculativeRanges  uint64
+	SpeculationWins    uint64
 	// PeakEmbeddings is the maximum over machines of the per-machine
 	// live-embedding high-water mark.
 	PeakEmbeddings uint64
@@ -200,6 +218,12 @@ func (c *Cluster) Summarize() Summary {
 		s.BreakerTrips += n.BreakerTrips.Load()
 		s.FaultsInjected += n.FaultsInjected.Load()
 		s.RecoveredRoots += n.RecoveredRoots.Load()
+		s.CorruptFrames += n.CorruptFrames.Load()
+		s.Redials += n.Redials.Load()
+		s.HeartbeatMisses += n.HeartbeatMisses.Load()
+		s.NodesSuspected += n.NodesSuspected.Load()
+		s.SpeculativeRanges += n.SpeculativeRanges.Load()
+		s.SpeculationWins += n.SpeculationWins.Load()
 		if p := n.PeakEmbeddings.Load(); p > s.PeakEmbeddings {
 			s.PeakEmbeddings = p
 		}

@@ -127,6 +127,16 @@ type Config struct {
 	// FetchRetries is the retry budget per fetch after the first attempt.
 	// Setting it enables the resilience layer (default 5 once enabled).
 	FetchRetries int
+	// Heartbeat runs a heartbeat failure detector: each machine pings every
+	// peer and a peer missing three consecutive pings is declared dead for
+	// all workers at once, ahead of per-fetch circuit breakers. Enables the
+	// resilience layer.
+	Heartbeat bool
+	// Speculate enables straggler speculation: once machines sit idle, the
+	// slowest machine's unfinished source-vertex ranges are re-executed on
+	// an idle machine, first completion wins, and counts are reconciled
+	// exactly. Enables the resilience layer.
+	Speculate bool
 }
 
 // Result reports one mining run.
@@ -153,6 +163,22 @@ type Result struct {
 	RecoveryRounds int
 	// DeadNodes lists machines declared dead during the run, ascending.
 	DeadNodes []int
+	// CorruptFrames is the number of wire frames rejected on a CRC or
+	// header mismatch (TCP fabric integrity checking).
+	CorruptFrames uint64
+	// Redials is the number of TCP connections re-established after a drop.
+	Redials uint64
+	// HeartbeatMisses is the number of heartbeat pings that timed out.
+	HeartbeatMisses uint64
+	// NodesSuspected is the number of peers the failure detector declared
+	// suspect.
+	NodesSuspected uint64
+	// SpeculativeRanges is the number of root ranges re-executed by
+	// straggler speculation.
+	SpeculativeRanges uint64
+	// SpeculationWins is the number of speculative re-executions that beat
+	// the straggler.
+	SpeculationWins uint64
 }
 
 func fromCluster(r cluster.Result) Result {
@@ -167,6 +193,13 @@ func fromCluster(r cluster.Result) Result {
 		RecoveredRoots: r.Summary.RecoveredRoots,
 		RecoveryRounds: r.RecoveryRounds,
 		DeadNodes:      r.DeadNodes,
+
+		CorruptFrames:     r.Summary.CorruptFrames,
+		Redials:           r.Summary.Redials,
+		HeartbeatMisses:   r.Summary.HeartbeatMisses,
+		NodesSuspected:    r.Summary.NodesSuspected,
+		SpeculativeRanges: r.Summary.SpeculativeRanges,
+		SpeculationWins:   r.Summary.SpeculationWins,
 	}
 }
 
@@ -203,6 +236,8 @@ func Open(g *Graph, cfg Config) (*Engine, error) {
 		Fault:                prof,
 		FetchTimeout:         cfg.FetchTimeout,
 		FetchRetries:         cfg.FetchRetries,
+		Heartbeat:            cfg.Heartbeat,
+		Speculate:            cfg.Speculate,
 	})
 	if err != nil {
 		return nil, err
