@@ -1,0 +1,157 @@
+// Command khuzdulvet runs the project-specific static analyzer suite from
+// internal/analysis over the Khuzdul tree and reports every invariant
+// violation as "file:line:col: [analyzer] message".
+//
+// Usage:
+//
+//	go run ./cmd/khuzdulvet ./...
+//	go run ./cmd/khuzdulvet -list
+//	go run ./cmd/khuzdulvet ./internal/comm/... ./internal/cluster
+//
+// Exit status is 0 when the tree is clean, 1 when findings (or malformed
+// ignore directives) exist, and 2 when loading or type-checking fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"khuzdul/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("khuzdulvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list the analyzer suite and exit")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: khuzdulvet [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the Khuzdul invariant analyzers over the enclosing module.\n")
+		fmt.Fprintf(stderr, "Package patterns are directory-based (./..., ./internal/comm/...).\n\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+		return 2
+	}
+	root, modulePath, err := analysis.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root, modulePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, flags.Args(), cwd, root, modulePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, rel(cwd, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "khuzdulvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages matching the directory-based patterns.
+// No patterns (or a bare "./...") selects the whole module.
+func filterPackages(pkgs []*analysis.LoadedPackage, patterns []string,
+	cwd, root, modulePath string) ([]*analysis.LoadedPackage, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var keep func(path string) bool
+	matchers := make([]func(string) bool, 0, len(patterns))
+	for _, pat := range patterns {
+		m, err := patternMatcher(pat, cwd, root, modulePath)
+		if err != nil {
+			return nil, err
+		}
+		matchers = append(matchers, m)
+	}
+	keep = func(path string) bool {
+		for _, m := range matchers {
+			if m(path) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.LoadedPackage
+	for _, p := range pkgs {
+		if keep(p.Path) {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	return out, nil
+}
+
+// patternMatcher converts one ./dir or ./dir/... pattern into an import-path
+// predicate.
+func patternMatcher(pat, cwd, root, modulePath string) (func(string) bool, error) {
+	recursive := false
+	if pat == "..." || strings.HasSuffix(pat, "/...") {
+		recursive = true
+		pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		if pat == "" {
+			pat = "."
+		}
+	}
+	abs := pat
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(cwd, pat)
+	}
+	relToRoot, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(relToRoot, "..") {
+		return nil, fmt.Errorf("pattern %q is outside module %s", pat, modulePath)
+	}
+	base := modulePath
+	if relToRoot != "." {
+		base = modulePath + "/" + filepath.ToSlash(relToRoot)
+	}
+	return func(path string) bool {
+		if path == base {
+			return true
+		}
+		return recursive && strings.HasPrefix(path, base+"/")
+	}, nil
+}
+
+// rel renders a diagnostic with its filename relative to the working
+// directory when possible, keeping output stable across checkouts.
+func rel(cwd string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}

@@ -1,0 +1,180 @@
+// Package analysis is a small, stdlib-only static-analysis framework for
+// enforcing Khuzdul's project-specific invariants: the rules that make exact
+// counts under chaos possible but that generic tools (go vet, staticcheck)
+// cannot see — canonical wire codecs, visibly-joined goroutines, classifiable
+// error chains, determinism-safe sleeping, and no blocking fabric traffic
+// under a lock. The Pass/Analyzer shape mirrors golang.org/x/tools/go/analysis
+// so analyzers stay portable, but the framework itself depends only on
+// go/parser, go/types and go/ast.
+//
+// The suite runs via cmd/khuzdulvet; findings print as
+// "file:line:col: [analyzer] message" and a non-empty finding set makes the
+// CLI exit non-zero. A finding can be suppressed in place with
+//
+//	//khuzdulvet:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory, so every suppression documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects pass and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package: the shared
+// FileSet, the package's syntax trees, full type information, and the
+// Reportf diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the type-checked package (import path via Pkg.Path()).
+	Pkg *types.Package
+	// Files holds the package's parsed non-test files.
+	Files []*ast.File
+	// Info is the type-checking fact base for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is one parsed //khuzdulvet:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const directivePrefix = "khuzdulvet:ignore"
+
+// collectDirectives parses every //khuzdulvet:ignore directive in the
+// package. Malformed directives (no analyzer name, or no reason) become
+// diagnostics themselves: a suppression that does not say what and why is
+// worse than the finding it hides.
+func collectDirectives(fset *token.FileSet, files []*ast.File, sink *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					*sink = append(*sink, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed ignore directive: want //khuzdulvet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, analyzer: name})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a directive on its own line or
+// the line directly above.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position.
+func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		dirs := collectDirectives(pkg.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Pkg:      pkg.Types,
+				Files:    pkg.Files,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range diags {
+			if !suppressed(d, dirs) {
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// Suite returns the full khuzdulvet analyzer suite.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		WireCodec,
+		GoroutineJoin,
+		ErrClass,
+		SleepBan,
+		LockSend,
+	}
+}

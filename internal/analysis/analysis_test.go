@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture tree under testdata/src is loaded once and shared: the source
+// importer's stdlib type checking dominates load time and every fixture uses
+// the same handful of imports.
+var (
+	fixturesOnce sync.Once
+	fixturesPkgs []*LoadedPackage
+	fixturesErr  error
+)
+
+func fixturePackages(t *testing.T) []*LoadedPackage {
+	t.Helper()
+	fixturesOnce.Do(func() {
+		fixturesPkgs, fixturesErr = Load(filepath.Join("testdata", "src"), "")
+	})
+	if fixturesErr != nil {
+		t.Fatalf("loading fixtures: %v", fixturesErr)
+	}
+	return fixturesPkgs
+}
+
+// fixtureSubset returns the fixture packages rooted at prefix (one analyzer's
+// private tree).
+func fixtureSubset(t *testing.T, prefix string) []*LoadedPackage {
+	t.Helper()
+	var out []*LoadedPackage
+	for _, p := range fixturePackages(t) {
+		if p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/") {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no fixture packages under %q", prefix)
+	}
+	return out
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants maps "file:line" to the expectations declared in // want
+// comments. One want may cover several diagnostics on its line.
+func collectWants(t *testing.T, pkgs []*LoadedPackage) map[string][]*wantEntry {
+	t.Helper()
+	wants := map[string][]*wantEntry{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &wantEntry{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixtureTest runs one analyzer over its fixture tree and reconciles the
+// diagnostics with the tree's want comments in both directions.
+func runFixtureTest(t *testing.T, a *Analyzer) {
+	t.Helper()
+	pkgs := fixtureSubset(t, a.Name)
+	diags := Run(pkgs, []*Analyzer{a})
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, entries := range wants {
+		for _, w := range entries {
+			if !w.matched {
+				t.Errorf("%s: expected a diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func TestWireCodec(t *testing.T)     { runFixtureTest(t, WireCodec) }
+func TestGoroutineJoin(t *testing.T) { runFixtureTest(t, GoroutineJoin) }
+func TestErrClass(t *testing.T)      { runFixtureTest(t, ErrClass) }
+func TestSleepBan(t *testing.T)      { runFixtureTest(t, SleepBan) }
+func TestLockSend(t *testing.T)      { runFixtureTest(t, LockSend) }
+
+// TestIgnoreDirectives checks the three directive behaviours: a well-formed
+// directive (above or on the line) suppresses, a malformed one becomes a
+// "directive" finding without suppressing, and uncovered findings survive.
+func TestIgnoreDirectives(t *testing.T) {
+	pkgs := fixtureSubset(t, "ignore")
+	diags := Run(pkgs, []*Analyzer{SleepBan})
+	var directive, sleep int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			directive++
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("directive diagnostic has unexpected message: %s", d)
+			}
+		case "sleepban":
+			sleep++
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if directive != 1 || sleep != 2 {
+		t.Errorf("got %d directive + %d sleepban diagnostics, want 1 + 2: %v", directive, sleep, diags)
+	}
+}
+
+// TestFindModule pins the module discovery the CLI depends on.
+func TestFindModule(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	if modPath != "khuzdul" {
+		t.Fatalf("module path = %q, want %q", modPath, "khuzdul")
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(root))) == "" {
+		t.Fatalf("implausible module root %q", root)
+	}
+}
+
+// TestSuiteCleanOnTree loads the real module and runs the full suite: the
+// tree must carry zero invariant violations. This is the same guarantee the
+// khuzdulvet CI job enforces, pinned here so plain `go test ./...` catches
+// regressions too.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module load in short mode")
+	}
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	pkgs, err := Load(root, modPath)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, d := range Run(pkgs, Suite()) {
+		t.Errorf("unexpected finding in tree: %s", d)
+	}
+}

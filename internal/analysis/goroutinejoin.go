@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineJoin enforces the no-leaked-workers invariant in the packages
+// whose goroutines carry cluster traffic and recovery state:
+// internal/{comm,cluster,core,fault}. Exact-count recovery re-runs engines
+// and rebuilds fabric stacks; a goroutine with no visible join can outlive
+// the run it belongs to, keep writing into recycled chunks or counters, and
+// turn a deterministic re-execution into a race. Every `go` statement must
+// therefore show its join: a sync.WaitGroup Add/Done pairing, or a
+// done-channel the spawner can drain (the goroutine sends on or closes a
+// channel, directly or through a same-package callee).
+var GoroutineJoin = &Analyzer{
+	Name: "goroutinejoin",
+	Doc: "every goroutine in internal/{comm,cluster,core,fault} must be tied to a " +
+		"visible join (WaitGroup, done-channel or collector) so crashes and " +
+		"speculation cannot leak workers",
+	Run: runGoroutineJoin,
+}
+
+// joinCallDepth bounds how far the checker follows same-package calls when
+// looking for join evidence inside a spawned body (runFetch → closeReady →
+// close(ch) is depth two).
+const joinCallDepth = 3
+
+func runGoroutineJoin(pass *Pass) {
+	path := pass.Pkg.Path()
+	if !pathHasSegments(path, "internal", "comm") &&
+		!pathHasSegments(path, "internal", "cluster") &&
+		!pathHasSegments(path, "internal", "core") &&
+		!pathHasSegments(path, "internal", "fault") {
+		return
+	}
+	decls := funcDecls(pass.Info, pass.Files)
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if waitGroupAddBefore(pass.Info, enclosingFuncBody(stack), g.Pos()) {
+				return true
+			}
+			if body := spawnedBody(pass.Info, decls, g.Call); body != nil {
+				seen := map[*ast.BlockStmt]bool{}
+				if hasJoinEvidence(pass.Info, decls, body, joinCallDepth, seen) {
+					return true
+				}
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine has no visible join: tie it to a sync.WaitGroup or a done-channel so crashes and speculation cannot leak workers")
+			return true
+		})
+	}
+}
+
+// waitGroupAddBefore reports whether body contains a sync.WaitGroup Add call
+// positioned before pos — the spawner-side half of the Add/Done discipline.
+func waitGroupAddBefore(info *types.Info, body *ast.BlockStmt, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isSyncType(receiverType(info, sel), "WaitGroup") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// spawnedBody resolves the body the go statement runs: a function literal's
+// own body, or the declaration of a same-package function or method.
+func spawnedBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if decl := decls[fn]; decl != nil {
+			return decl.Body
+		}
+	}
+	return nil
+}
+
+// hasJoinEvidence reports whether body makes the goroutine's completion
+// observable: a WaitGroup Done, a channel send, or a channel close — found
+// directly or by following same-package calls up to depth levels deep.
+func hasJoinEvidence(info *types.Info, decls map[*types.Func]*ast.FuncDecl,
+	body *ast.BlockStmt, depth int, seen map[*ast.BlockStmt]bool) bool {
+	if body == nil || depth < 0 || seen[body] {
+		return false
+	}
+	seen[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if isBuiltinCall(info, n, "close") {
+				found = true
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isSyncType(receiverType(info, sel), "WaitGroup") {
+					found = true
+					return false
+				}
+			}
+			if fn := calleeFunc(info, n); fn != nil {
+				if decl := decls[fn]; decl != nil &&
+					hasJoinEvidence(info, decls, decl.Body, depth-1, seen) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SleepBan enforces the no-wall-clock-waits invariant: time.Sleep is legal
+// only inside internal/fault, where injected latency and straggler delay are
+// the feature. Everywhere else a sleep is either a disguised
+// synchronization bug (the condition it waits for should be a channel or
+// WaitGroup), an uninterruptible stall on the cancellation path (the retry
+// backoff must remain a timer+cancel select), or a hidden perturbation of
+// the straggler-timing assumptions speculation and the failure detector are
+// calibrated against. Test files are exempt (they are excluded from
+// analysis entirely).
+var SleepBan = &Analyzer{
+	Name: "sleepban",
+	Doc: "time.Sleep is only legal inside internal/fault; sleeps elsewhere break " +
+		"determinism, cancellation latency and straggler-timing assumptions",
+	Run: runSleepBan,
+}
+
+func runSleepBan(pass *Pass) {
+	if pathHasSegments(pass.Pkg.Path(), "internal", "fault") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(pass.Info, call, "time", "Sleep") {
+				pass.Reportf(call.Pos(),
+					"time.Sleep outside internal/fault: wait on a timer+cancel select (or a channel) so cancellation and determinism survive")
+			}
+			return true
+		})
+	}
+}

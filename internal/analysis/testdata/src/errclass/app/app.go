@@ -1,0 +1,10 @@
+// Package app sits outside the comm and cluster boundary, so errclass must
+// not fire here even on errors it would flag inside the boundary.
+package app
+
+import "fmt"
+
+// Describe formats without a wrap verb, which is fine outside the boundary.
+func Describe(n int) error {
+	return fmt.Errorf("app: n is %d", n)
+}

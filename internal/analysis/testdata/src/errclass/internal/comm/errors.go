@@ -1,0 +1,36 @@
+// Package comm is the errclass fixture: unclassifiable errors at the comm
+// boundary must be flagged; wrapped sentinels are the legal near miss.
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownNode is a classifiable sentinel; minting it at package level is
+// legal.
+var ErrUnknownNode = errors.New("comm: unknown node")
+
+// FetchWrapped wraps the sentinel, keeping errors.Is routing intact.
+func FetchWrapped(node int) error {
+	return fmt.Errorf("comm: fetch to node %d: %w", node, ErrUnknownNode)
+}
+
+// FetchLossy drops the error class by formatting without a wrap verb.
+func FetchLossy(node int) error {
+	return fmt.Errorf("comm: fetch to unknown node %d", node) // want "without %w"
+}
+
+// PingBare mints an unclassifiable error at the return site.
+func PingBare() error {
+	return errors.New("comm: ping failed") // want "bare errors.New"
+}
+
+// probe builds an error a caller never routes on; assignment outside a
+// return is legal, and the wrapped return keeps the chain.
+func probe() error {
+	err := errors.New("comm: probe scratch")
+	return fmt.Errorf("comm: probe: %w", err)
+}
+
+var _ = probe

@@ -1,0 +1,61 @@
+// Package core is the goroutinejoin fixture: every goroutine must show a
+// visible join — a WaitGroup pairing or a done-channel, possibly through a
+// same-package callee.
+package core
+
+import "sync"
+
+// LeakyRun spawns a worker nothing can wait for.
+func LeakyRun() {
+	go func() { // want "no visible join"
+		_ = compute(1)
+	}()
+}
+
+// LeakyNamed spawns a named function with no join evidence.
+func LeakyNamed() {
+	go drift() // want "no visible join"
+}
+
+func drift() {
+	_ = compute(2)
+}
+
+// JoinedByWaitGroup pairs the spawn with Add/Done.
+func JoinedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = compute(3)
+	}()
+	wg.Wait()
+}
+
+// JoinedByChannel sends completion on a channel the caller drains.
+func JoinedByChannel() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute(4)
+	}()
+	return <-ch
+}
+
+// JoinedThroughCallee closes the done channel two calls deep, exercising the
+// bounded same-package call following.
+func JoinedThroughCallee() {
+	done := make(chan struct{})
+	go produce(done)
+	<-done
+}
+
+func produce(done chan struct{}) {
+	_ = compute(5)
+	finish(done)
+}
+
+func finish(done chan struct{}) {
+	close(done)
+}
+
+func compute(n int) int { return n * n }

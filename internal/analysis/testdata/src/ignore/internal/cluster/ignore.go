@@ -1,0 +1,30 @@
+// Package cluster exercises the khuzdulvet ignore directive: a well-formed
+// directive suppresses the finding on its line or the line below, a
+// malformed directive is a finding itself, and an uncovered violation still
+// fires.
+package cluster
+
+import "time"
+
+// SettleSuppressed documents why its sleep is exempt.
+func SettleSuppressed() {
+	//khuzdulvet:ignore sleepban fixture exercising a documented suppression
+	time.Sleep(time.Millisecond)
+}
+
+// SettleSuppressedInline carries the directive on the offending line.
+func SettleSuppressedInline() {
+	time.Sleep(time.Millisecond) //khuzdulvet:ignore sleepban same-line suppression form
+}
+
+// SettleMalformed names no reason, so the directive itself is a finding and
+// the sleep still fires.
+func SettleMalformed() {
+	//khuzdulvet:ignore sleepban
+	time.Sleep(time.Millisecond)
+}
+
+// SettleBare has no directive at all.
+func SettleBare() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,22 @@
+// Package cluster is the sleepban fixture: wall-clock sleeps outside
+// internal/fault must be flagged; timer-based waits are the legal near miss.
+package cluster
+
+import "time"
+
+// Settle waits with a bare sleep, which defeats cancellation.
+func Settle() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep outside internal/fault"
+}
+
+// WaitOrCancel waits on a timer select the cancel channel can cut short.
+func WaitOrCancel(cancel <-chan struct{}) bool {
+	t := time.NewTimer(10 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}

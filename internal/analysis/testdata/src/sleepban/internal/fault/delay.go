@@ -1,0 +1,10 @@
+// Package fault injects latency; sleeping here is the feature, so sleepban
+// must stay silent.
+package fault
+
+import "time"
+
+// Delay injects wall-clock latency into a simulated link.
+func Delay(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,16 @@
+// Package comm is the canonical-codec near miss: inside an internal/comm
+// package the wirecodec analyzer must stay silent.
+package comm
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Encode is the canonical codec; binary and crc32 use here is legal.
+func Encode(id uint64) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint64(b, id)
+	binary.BigEndian.PutUint32(b[8:], crc32.ChecksumIEEE(b[:8]))
+	return b
+}

@@ -1,0 +1,12 @@
+// Package graph is the on-disk-format near miss: internal/graph owns file
+// layouts that never cross the fabric, so binary use here is legal.
+package graph
+
+import "encoding/binary"
+
+// Header encodes an on-disk section header.
+func Header(vertices uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, vertices)
+	return b
+}

@@ -1,0 +1,21 @@
+// Package pipeline is a wirecodec fixture: hand-rolled binary encoding and
+// checksum construction outside internal/comm must be flagged.
+package pipeline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Frame builds a bespoke frame layout, bypassing the canonical codecs.
+func Frame(ids []uint64) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(len(ids))) // want "manual binary encoding"
+	for _, id := range ids {
+		binary.Write(&buf, binary.BigEndian, id) // want "manual binary encoding"
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())    // want "checksum construction"
+	binary.Write(&buf, binary.BigEndian, sum) // want "manual binary encoding"
+	return buf.Bytes()
+}

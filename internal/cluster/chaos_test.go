@@ -7,6 +7,7 @@ import (
 	"khuzdul/internal/fault"
 	"khuzdul/internal/graph"
 	"khuzdul/internal/graphpi"
+	"khuzdul/internal/leakcheck"
 	"khuzdul/internal/pattern"
 	"khuzdul/internal/plan"
 )
@@ -32,6 +33,7 @@ func chaosConfig(prof *fault.Profile, transport Transport) Config {
 // recovery must mop up retry exhaustion) with counts identical to the
 // fault-free run.
 func TestChaosTransientErrorsExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -61,6 +63,7 @@ func TestChaosTransientErrorsExactCounts(t *testing.T) {
 // complete with counts identical to the fault-free run, report the dead node,
 // and show recovery work in the metrics.
 func TestChaosCrashRecoveryExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -113,6 +116,7 @@ func TestChaosCrashRecoveryExactCounts(t *testing.T) {
 // same seed: both runs must converge to the same (correct) count and agree
 // on the dead set.
 func TestChaosCrashDeterministicGivenSeed(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(120, 700, 41)
 	pl, err := graphpi.Compile(pattern.Triangle(), g, graphpi.Options{})
 	if err != nil {
@@ -141,6 +145,7 @@ func TestChaosCrashDeterministicGivenSeed(t *testing.T) {
 // TestResilientNoFaultsNoEvents turns the resilience layer on without a fault
 // profile: results must be untouched and no resilience events recorded.
 func TestResilientNoFaultsNoEvents(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(120, 700, 41)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -171,6 +176,7 @@ func TestResilientNoFaultsNoEvents(t *testing.T) {
 // Either way the retry layer must absorb every rejection and the count must be
 // bit-identical to the fault-free run.
 func TestChaosWireCorruptionExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -206,6 +212,7 @@ func TestChaosWireCorruptionExactCounts(t *testing.T) {
 // TestChaosConnectionDropsExactCounts severs 5% of exchanges mid-flight. The
 // client sees a torn connection, redials, and retries; counts stay exact.
 func TestChaosConnectionDropsExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -241,6 +248,7 @@ func TestChaosConnectionDropsExactCounts(t *testing.T) {
 // cluster-wide (the consistent-verdict rule), and task-level recovery
 // re-executes whatever was pending — with counts still bit-identical.
 func TestChaosPartitionRecoveryExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -286,6 +294,7 @@ func TestChaosPartitionRecoveryExactCounts(t *testing.T) {
 // accumulate, and the detector's verdict (not just the breaker) marks it
 // dead. Counts must still be exact.
 func TestChaosHeartbeatSuspectsCrashedNode(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -330,6 +339,7 @@ func TestChaosHeartbeatSuspectsCrashedNode(t *testing.T) {
 // the first-completion-wins reconciliation must keep the count bit-identical
 // whether the straggler or the speculative copy finishes first.
 func TestChaosSlowNodeSpeculationExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -366,6 +376,7 @@ func TestChaosSlowNodeSpeculationExactCounts(t *testing.T) {
 // run. Natural skew may or may not trigger a speculative copy; either way the
 // reconciliation must never double- or under-count.
 func TestChaosSpeculationHealthyRunExact(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -392,6 +403,7 @@ func TestChaosSpeculationHealthyRunExact(t *testing.T) {
 // all at once, with the heartbeat detector and speculation both enabled —
 // over both fabrics, with counts bit-identical to the fault-free run.
 func TestChaosKitchenSinkExactCounts(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 900, 47)
 	pl, err := graphpi.Compile(pattern.Clique(4), g, graphpi.Options{})
 	if err != nil {
@@ -441,6 +453,7 @@ func TestChaosKitchenSinkExactCounts(t *testing.T) {
 // back on one cluster) across a crash: the first plan's run kills the node,
 // later plans start with the node already dead and must still be exact.
 func TestChaosCountAllSurvivesCrash(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(100, 500, 43)
 	plans, err := graphpi.CompileMotifs(3, g, graphpi.Options{})
 	if err != nil {

@@ -23,6 +23,10 @@ import (
 	"khuzdul/internal/plan"
 )
 
+// ErrUnknownTransport marks a Config naming a transport the cluster cannot
+// build. It is a configuration error, not a runtime fault: nothing ran yet.
+var ErrUnknownTransport = errors.New("cluster: unknown transport")
+
 // Transport selects the communication fabric.
 type Transport int
 
@@ -237,7 +241,7 @@ func (c *Cluster) buildFabric(servers []comm.Server) (comm.Fabric, error) {
 		}
 		fabric = t
 	default:
-		return nil, fmt.Errorf("cluster: unknown transport %d", c.cfg.Transport)
+		return nil, fmt.Errorf("%w %d", ErrUnknownTransport, c.cfg.Transport)
 	}
 	if c.cfg.Fault != nil && !c.cfg.Fault.Zero() {
 		if c.injector == nil {
@@ -384,6 +388,9 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 			sink := sinkFactory(node, socket)
 			sinks = append(sinks, sink)
 			slot := node*c.cfg.Sockets + socket
+			if spec != nil {
+				src.cancel = spec.cancelChan(slot)
+			}
 			var onRange func(start, end int)
 			if trackers != nil {
 				if cs, ok := sink.(*core.CountSink); ok {
@@ -572,6 +579,12 @@ type nodeSource struct {
 	socket int
 	fabric comm.Fabric
 	met    *metrics.Node
+	// cancel, when non-nil, aborts in-flight fetches (including their retry
+	// backoffs) the moment this slot's speculative copy wins. The resulting
+	// failure surfaces as engine cancellation, the same outcome the polled
+	// Canceled hook produces at range boundaries — just without waiting for
+	// the retry schedule to drain first.
+	cancel <-chan struct{}
 }
 
 func (s *nodeSource) Classify(v graph.VertexID) (core.Locality, int) {
@@ -598,6 +611,13 @@ func (s *nodeSource) CrossSocketList(v graph.VertexID) []graph.VertexID {
 }
 
 func (s *nodeSource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	if cf, ok := s.fabric.(comm.CancelFetcher); ok && s.cancel != nil {
+		lists, err := cf.FetchCancel(s.local.Node(), owner, ids, s.cancel)
+		if err != nil && errors.Is(err, comm.ErrFetchCanceled) {
+			return nil, fmt.Errorf("cluster: fetch aborted by speculation cancel: %w", core.ErrCanceled)
+		}
+		return lists, err
+	}
 	return s.fabric.Fetch(s.local.Node(), owner, ids)
 }
 

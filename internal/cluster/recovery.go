@@ -28,6 +28,15 @@ import (
 // nodes); exceeding it means the cluster is too degraded to finish.
 const maxRecoveryRounds = 8
 
+// ErrRecoveryStalled marks a recovery that did not converge within
+// maxRecoveryRounds — every round kept losing nodes or re-deriving pending
+// roots.
+var ErrRecoveryStalled = errors.New("cluster: recovery did not converge")
+
+// ErrNoSurvivors marks a recovery round that found every node dead; there is
+// nowhere left to re-execute pending roots.
+var ErrNoSurvivors = errors.New("cluster: no surviving nodes to recover onto")
+
 // rangeTracker is one engine slot's checkpoint: the prefix of its root list
 // explored to completion and the sink count committed at that point. Written
 // by the engine goroutine via OnRangeDone; read by the driver after the
@@ -210,8 +219,8 @@ func (c *Cluster) recoverRun(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf 
 	for len(pending) > 0 {
 		rec.rounds++
 		if rec.rounds > maxRecoveryRounds {
-			return rec, fmt.Errorf("cluster: recovery did not converge after %d rounds (%d roots pending)",
-				maxRecoveryRounds, len(pending))
+			return rec, fmt.Errorf("%w after %d rounds (%d roots pending)",
+				ErrRecoveryStalled, maxRecoveryRounds, len(pending))
 		}
 		var err error
 		pending, err = c.recoveryRound(pl, labelOf, edgeLabelOf, &rec, pending)
@@ -232,7 +241,7 @@ func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabel
 	dead := c.deadNodes()
 	fo := newFailover(c.asg, dead)
 	if len(fo.alive) == 0 {
-		return nil, errors.New("cluster: no surviving nodes to recover onto")
+		return nil, ErrNoSurvivors
 	}
 
 	// Survivors serve everything they own under failover from the full graph;

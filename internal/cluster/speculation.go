@@ -105,6 +105,10 @@ type speculator struct {
 
 	slots  int
 	cancel []atomic.Bool // straggler-side cancel flags, polled via Canceled
+	// cancelCh mirrors cancel as per-slot channels so blocking waits (fetch
+	// retry backoffs via comm.CancelFetcher) unblock the moment a copy wins,
+	// instead of discovering the flag at the next range boundary.
+	cancelCh []chan struct{}
 
 	trackers []*rangeTracker
 	roots    [][]graph.VertexID
@@ -124,6 +128,10 @@ type speculator struct {
 
 func newSpeculator(c *Cluster, pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf plan.EdgeLabelFunc) *speculator {
 	slots := c.cfg.NumNodes * c.cfg.Sockets
+	cancelCh := make([]chan struct{}, slots)
+	for i := range cancelCh {
+		cancelCh[i] = make(chan struct{})
+	}
 	return &speculator{
 		c:           c,
 		pl:          pl,
@@ -131,6 +139,7 @@ func newSpeculator(c *Cluster, pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelO
 		edgeLabelOf: edgeLabelOf,
 		slots:       slots,
 		cancel:      make([]atomic.Bool, slots),
+		cancelCh:    cancelCh,
 		done:        make([]bool, slots),
 		errs:        make([]error, slots),
 		specs:       make(map[int]*specRun),
@@ -142,6 +151,17 @@ func newSpeculator(c *Cluster, pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelO
 
 // canceled is the Config.Canceled hook for one main engine slot.
 func (s *speculator) canceled(slot int) bool { return s.cancel[slot].Load() }
+
+// cancelChan returns the channel closed when slot's speculative copy wins;
+// the slot's fetches select on it during retry backoffs.
+func (s *speculator) cancelChan(slot int) <-chan struct{} { return s.cancelCh[slot] }
+
+// cancelSlot raises slot's cancel flag and closes its channel exactly once.
+func (s *speculator) cancelSlot(slot int) {
+	if s.cancel[slot].CompareAndSwap(false, true) {
+		close(s.cancelCh[slot])
+	}
+}
 
 // begin arms the monitor once every slot's checkpoint tracker is known.
 // Without full tracking (some sink is not a counting sink) speculation
@@ -311,7 +331,7 @@ func (s *speculator) runSpec(sp *specRun, suffix []graph.VertexID) {
 	win := sp.err == nil && !s.done[sp.slot]
 	s.mu.Unlock()
 	if win {
-		s.cancel[sp.slot].Store(true)
+		s.cancelSlot(sp.slot)
 	}
 }
 

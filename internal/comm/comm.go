@@ -9,11 +9,23 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 
 	"khuzdul/internal/graph"
 	"khuzdul/internal/metrics"
 )
+
+// ErrUnknownNode marks traffic addressed outside the cluster's node range.
+// It is permanent for the resilience layer — retrying cannot make an unknown
+// node exist — so Resilient fails fast instead of burning its retry budget.
+var ErrUnknownNode error = permanentError{errors.New("comm: unknown node")}
+
+// permanentError brands a sentinel as unretryable for PermanentError checks
+// while staying matchable through errors.Is.
+type permanentError struct{ error }
+
+func (permanentError) Permanent() bool { return true }
 
 // Server answers edge-list requests for the vertices one machine owns.
 type Server interface {
@@ -90,7 +102,7 @@ func NewLocal(servers []Server, m *metrics.Cluster) *Local {
 // Fetch implements Fabric.
 func (l *Local) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
 	if to < 0 || to >= len(l.servers) {
-		return nil, fmt.Errorf("comm: fetch to unknown node %d", to)
+		return nil, fmt.Errorf("comm: fetch to node %d: %w", to, ErrUnknownNode)
 	}
 	lists := l.servers[to].ServeEdgeLists(ids)
 	account(l.m, from, to, RequestBytes(len(ids)), ResponseBytes(lists))
@@ -100,7 +112,7 @@ func (l *Local) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, e
 // Ping implements Pinger: an in-process peer is reachable iff it exists.
 func (l *Local) Ping(from, to int) error {
 	if to < 0 || to >= len(l.servers) {
-		return fmt.Errorf("comm: ping to unknown node %d", to)
+		return fmt.Errorf("comm: ping to node %d: %w", to, ErrUnknownNode)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"khuzdul/internal/graph"
+	"khuzdul/internal/leakcheck"
 	"khuzdul/internal/metrics"
 	"khuzdul/internal/partition"
 )
@@ -64,6 +65,7 @@ func TestLocalFabricFetch(t *testing.T) {
 }
 
 func TestTCPFabricFetch(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(200, 800, 3)
 	asg := partition.NewAssignment(3, 1)
 	m := metrics.NewCluster(3)
@@ -76,6 +78,7 @@ func TestTCPFabricFetch(t *testing.T) {
 }
 
 func TestFabricsAccountIdentically(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(150, 600, 9)
 	asg := partition.NewAssignment(2, 1)
 
@@ -112,6 +115,7 @@ func TestFabricsAccountIdentically(t *testing.T) {
 }
 
 func TestTCPConcurrentFetches(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(300, 1500, 4)
 	asg := partition.NewAssignment(4, 1)
 	f, err := NewTCP(testServers(g, asg), nil)
@@ -170,6 +174,7 @@ func TestByteFormulas(t *testing.T) {
 }
 
 func TestTCPLargePayload(t *testing.T) {
+	leakcheck.Check(t)
 	// A hub list far larger than the bufio buffers must frame correctly.
 	b := graph.NewBuilder(0)
 	for v := 1; v <= 50000; v++ {
@@ -198,6 +203,7 @@ func TestTCPLargePayload(t *testing.T) {
 }
 
 func TestTCPEmptyBatch(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.Path(4)
 	asg := partition.NewAssignment(2, 1)
 	f, err := NewTCP(testServers(g, asg), nil)
@@ -215,6 +221,7 @@ func TestTCPEmptyBatch(t *testing.T) {
 }
 
 func TestTCPCloseIdempotent(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.Path(4)
 	asg := partition.NewAssignment(2, 1)
 	f, err := NewTCP(testServers(g, asg), nil)

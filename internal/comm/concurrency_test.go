@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"khuzdul/internal/graph"
+	"khuzdul/internal/leakcheck"
 	"khuzdul/internal/metrics"
 	"khuzdul/internal/partition"
 )
@@ -83,6 +84,7 @@ func hammer(t *testing.T, f Fabric, g *graph.Graph, asg partition.Assignment, wo
 // the same workload; results and accounted byte totals must be identical.
 // Run under -race this also proves both fabrics' internal synchronization.
 func TestFabricsEquivalentUnderConcurrency(t *testing.T) {
+	leakcheck.Check(t)
 	const nodes, workers = 4, 24
 	g := graphForComm(t)
 
@@ -120,6 +122,7 @@ func TestFabricsEquivalentUnderConcurrency(t *testing.T) {
 // workload through the resilient layer over both transports: the resilience
 // machinery must not change results or accounting on a healthy cluster.
 func TestResilientFabricEquivalentUnderConcurrency(t *testing.T) {
+	leakcheck.Check(t)
 	const nodes, workers = 3, 16
 	g := graphForComm(t)
 

@@ -1,0 +1,126 @@
+package comm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"khuzdul/internal/graph"
+)
+
+// The seed corpora under testdata/fuzz are committed so every `go test` run
+// (and CI's fuzz smoke job) exercises the decoders against the interesting
+// wire shapes — valid frames, truncations, CRC flips, version mismatches,
+// lying length prefixes — without needing a fuzzing session to rediscover
+// them. TestWriteFuzzCorpus regenerates them:
+//
+//	KHUZDUL_WRITE_FUZZ_CORPUS=1 go test ./internal/comm -run TestWriteFuzzCorpus
+//
+// Without the environment variable it verifies the committed files instead,
+// so the corpus can never silently drift from the frame layout.
+
+// corpusSeeds builds every seed, keyed by fuzz target and seed name.
+func corpusSeeds() map[string]map[string][]byte {
+	frame := func(version, typ uint8, payload []byte) []byte {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		writeFrame(w, version, typ, payload, -1)
+		w.Flush()
+		return buf.Bytes()
+	}
+	ids := encodeIDs(nil, []graph.VertexID{1, 2, 3, 0xFFFFFFFF})
+	lists := encodeLists(nil, [][]graph.VertexID{{1, 2}, {}, {3, 4, 5}})
+
+	request := frame(1, frameRequest, ids)
+	crcFlip := append([]byte(nil), request...)
+	crcFlip[len(crcFlip)-1] ^= 0xFF // payload no longer matches header CRC
+	badVersion := frame(1, framePing, nil)
+	badVersion[2] = 0x63 // outside the supported window
+	badType := frame(1, framePing, nil)
+	badType[3] = 0x7F // type above frameError
+	hugePayload := frame(1, framePing, nil)
+	binary.LittleEndian.PutUint32(hugePayload[4:], maxFramePayload+1)
+	badMagic := frame(1, framePing, nil)
+	badMagic[0] = 0x00
+
+	idsTruncated := append([]byte(nil), ids[:len(ids)-3]...)
+	idsLyingCount := binary.LittleEndian.AppendUint32(nil, maxFrameEntries+1)
+	idsTrailing := append(encodeIDs(nil, []graph.VertexID{7}), 0xEE)
+
+	listsTruncated := append([]byte(nil), lists[:len(lists)-2]...)
+	listsLyingLen := binary.LittleEndian.AppendUint32(
+		binary.LittleEndian.AppendUint32(nil, 1), maxFrameEntries+1)
+	listsTrailing := append(encodeLists(nil, [][]graph.VertexID{{9}}), 0xEE)
+
+	return map[string]map[string][]byte{
+		"FuzzReadFrame": {
+			"valid-ping":         frame(1, framePing, nil),
+			"valid-request":      request,
+			"valid-response":     frame(1, frameResponse, lists),
+			"valid-hello":        frame(1, frameHello, encodeHello(ProtoVersionMin, ProtoVersionMax, 3)),
+			"crc-flip":           crcFlip,
+			"truncated-header":   request[:frameHeaderSize/2],
+			"truncated-payload":  request[:frameHeaderSize+2],
+			"version-mismatch":   badVersion,
+			"unknown-frame-type": badType,
+			"huge-payload-claim": hugePayload,
+			"bad-magic":          badMagic,
+		},
+		"FuzzReadIDs": {
+			"valid-empty":    encodeIDs(nil, nil),
+			"valid-ids":      ids,
+			"truncated":      idsTruncated,
+			"lying-count":    idsLyingCount,
+			"trailing-bytes": idsTrailing,
+		},
+		"FuzzReadLists": {
+			"valid-empty":     encodeLists(nil, nil),
+			"valid-lists":     lists,
+			"truncated":       listsTruncated,
+			"lying-list-len":  listsLyingLen,
+			"trailing-bytes":  listsTrailing,
+			"nested-overflow": binary.LittleEndian.AppendUint32(nil, maxFrameEntries+1),
+		},
+	}
+}
+
+// corpusFile renders one seed in the go fuzzing corpus file format.
+func corpusFile(data []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+}
+
+// TestWriteFuzzCorpus verifies the committed seed corpora match the current
+// frame layout, or regenerates them when KHUZDUL_WRITE_FUZZ_CORPUS=1.
+func TestWriteFuzzCorpus(t *testing.T) {
+	write := os.Getenv("KHUZDUL_WRITE_FUZZ_CORPUS") != ""
+	for target, seeds := range corpusSeeds() {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if write {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, data := range seeds {
+			path := filepath.Join(dir, "seed-"+name)
+			want := corpusFile(data)
+			if write {
+				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("missing committed seed %s (regenerate with KHUZDUL_WRITE_FUZZ_CORPUS=1): %v", path, err)
+				continue
+			}
+			if string(got) != want {
+				t.Errorf("committed seed %s is stale; regenerate with KHUZDUL_WRITE_FUZZ_CORPUS=1", path)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"khuzdul/internal/graph"
+	"khuzdul/internal/leakcheck"
 	"khuzdul/internal/metrics"
 	"khuzdul/internal/partition"
 )
@@ -171,6 +172,7 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 }
 
 func TestTCPVersionMismatch(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.Path(8)
 	asg := partition.NewAssignment(2, 1)
 	srv, err := NewTCP(testServers(g, asg), nil)
@@ -194,6 +196,7 @@ func TestTCPVersionMismatch(t *testing.T) {
 }
 
 func TestTCPPing(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.Path(8)
 	asg := partition.NewAssignment(2, 1)
 	m := metrics.NewCluster(2)
@@ -238,6 +241,7 @@ func (s *scriptedFaults) DropAfterSend(from, to int) bool {
 }
 
 func TestTCPCorruptExchangeDetected(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(100, 400, 5)
 	asg := partition.NewAssignment(2, 1)
 	m := metrics.NewCluster(2)
@@ -282,6 +286,7 @@ func TestTCPCorruptExchangeDetected(t *testing.T) {
 }
 
 func TestTCPDropAfterSend(t *testing.T) {
+	leakcheck.Check(t)
 	g := graph.RMATDefault(100, 400, 6)
 	asg := partition.NewAssignment(2, 1)
 	m := metrics.NewCluster(2)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"khuzdul/internal/graph"
+	"khuzdul/internal/leakcheck"
 	"khuzdul/internal/metrics"
 	"khuzdul/internal/partition"
 )
@@ -109,6 +110,7 @@ func TestDetectorDeadAccuserIsSilenced(t *testing.T) {
 }
 
 func TestDetectorOverTCPFabric(t *testing.T) {
+	leakcheck.Check(t)
 	// End to end over real sockets: all peers answer pings, none suspected.
 	g := graph.Path(16)
 	asg := partition.NewAssignment(3, 1)

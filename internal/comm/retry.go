@@ -3,6 +3,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +28,20 @@ var ErrPeerDead = errors.New("comm: peer dead")
 // ErrRetriesExhausted marks a fetch that failed on every allowed attempt
 // without the peer being declared dead (e.g. persistent transient errors).
 var ErrRetriesExhausted = errors.New("comm: retries exhausted")
+
+// ErrFetchCanceled marks a fetch abandoned because its cancel channel fired
+// or the fabric was closed mid-retry. It is not a peer failure: the cluster
+// driver maps it to engine cancellation, never to recovery.
+var ErrFetchCanceled = errors.New("comm: fetch canceled")
+
+// CancelFetcher is implemented by fabrics whose fetches can be cut short by
+// a caller-owned cancel channel — closing it aborts backoff waits and
+// in-flight attempt deadlines instead of letting them run to completion.
+// Speculation uses this: when a speculative copy wins, the straggler's next
+// fetch must unblock now, not after the remaining backoff schedule.
+type CancelFetcher interface {
+	FetchCancel(from, to int, ids []graph.VertexID, cancel <-chan struct{}) ([][]graph.VertexID, error)
+}
 
 // PermanentError is implemented by errors that retrying cannot fix; the
 // resilient fabric fails fast on them.
@@ -79,6 +94,10 @@ type Resilient struct {
 	// attempt resets it.
 	consec []atomic.Int64
 	seq    atomic.Uint64 // jitter decision counter
+	// closed unblocks every backoff wait and pending attempt when the fabric
+	// shuts down, so Close never strands a caller mid-retry.
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewResilient returns a resilient fabric over inner for a numNodes
@@ -90,6 +109,7 @@ func NewResilient(inner Fabric, numNodes int, cfg RetryConfig, m *metrics.Cluste
 		m:      m,
 		dead:   make([]atomic.Bool, numNodes),
 		consec: make([]atomic.Int64, numNodes),
+		closed: make(chan struct{}),
 	}
 }
 
@@ -129,6 +149,14 @@ func (r *Resilient) MarkDead(node int) {
 
 // Fetch implements Fabric with the retry/deadline/breaker discipline.
 func (r *Resilient) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	return r.FetchCancel(from, to, ids, nil)
+}
+
+// FetchCancel implements CancelFetcher: Fetch, but abandonable. Closing
+// cancel (or closing the fabric) interrupts backoff waits and the current
+// attempt's deadline wait; the fetch then fails with ErrFetchCanceled
+// instead of running out its retry schedule. A nil cancel never fires.
+func (r *Resilient) FetchCancel(from, to int, ids []graph.VertexID, cancel <-chan struct{}) ([][]graph.VertexID, error) {
 	if r.Dead(to) {
 		return nil, fmt.Errorf("comm: fetch %d->%d: %w", from, to, ErrPeerDead)
 	}
@@ -138,12 +166,14 @@ func (r *Resilient) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexI
 			if r.m != nil {
 				r.m.Nodes[from].FetchRetries.Add(1)
 			}
-			time.Sleep(r.backoff(attempt))
+			if err := r.waitBackoff(from, to, r.backoff(attempt), cancel); err != nil {
+				return nil, err
+			}
 			if r.Dead(to) {
 				return nil, fmt.Errorf("comm: fetch %d->%d: %w", from, to, ErrPeerDead)
 			}
 		}
-		lists, err := r.attempt(from, to, ids)
+		lists, err := r.attempt(from, to, ids, cancel)
 		if err == nil {
 			r.consec[to].Store(0)
 			return lists, nil
@@ -151,6 +181,10 @@ func (r *Resilient) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexI
 		lastErr = err
 		var pe PermanentError
 		if errors.As(err, &pe) && pe.Permanent() {
+			return nil, err
+		}
+		if errors.Is(err, ErrFetchCanceled) {
+			// Cancellation is final; retrying a canceled fetch would defeat it.
 			return nil, err
 		}
 		if errors.Is(err, ErrFetchTimeout) {
@@ -173,11 +207,28 @@ func (r *Resilient) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexI
 		from, to, r.cfg.Retries+1, ErrRetriesExhausted, lastErr)
 }
 
+// waitBackoff blocks for the pre-retry backoff d, or until cancellation:
+// the caller's cancel channel firing or the fabric closing. A sleep here
+// would strand the cancellation path for the whole backoff schedule — this
+// wait is exactly the sleepban invariant's motivating case.
+func (r *Resilient) waitBackoff(from, to int, d time.Duration, cancel <-chan struct{}) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-cancel:
+		return fmt.Errorf("comm: fetch %d->%d interrupted in backoff: %w", from, to, ErrFetchCanceled)
+	case <-r.closed:
+		return fmt.Errorf("comm: fetch %d->%d: fabric closed in backoff: %w", from, to, ErrFetchCanceled)
+	}
+}
+
 // attempt performs one bounded fetch attempt. The inner fetch runs in its
 // own goroutine so a hung transport cannot block the caller past the
 // deadline; an abandoned attempt's goroutine parks until the inner fabric
 // is closed.
-func (r *Resilient) attempt(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+func (r *Resilient) attempt(from, to int, ids []graph.VertexID, cancel <-chan struct{}) ([][]graph.VertexID, error) {
 	if r.cfg.Timeout <= 0 {
 		return r.inner.Fetch(from, to, ids)
 	}
@@ -198,6 +249,10 @@ func (r *Resilient) attempt(from, to int, ids []graph.VertexID) ([][]graph.Verte
 	case <-t.C:
 		return nil, fmt.Errorf("comm: fetch %d->%d exceeded %v deadline: %w",
 			from, to, r.cfg.Timeout, ErrFetchTimeout)
+	case <-cancel:
+		return nil, fmt.Errorf("comm: fetch %d->%d abandoned mid-attempt: %w", from, to, ErrFetchCanceled)
+	case <-r.closed:
+		return nil, fmt.Errorf("comm: fetch %d->%d: fabric closed mid-attempt: %w", from, to, ErrFetchCanceled)
 	}
 }
 
@@ -223,8 +278,13 @@ func (r *Resilient) Ping(from, to int) error {
 	return nil
 }
 
-// Close implements Fabric.
-func (r *Resilient) Close() error { return r.inner.Close() }
+// Close implements Fabric. It releases every caller parked in a backoff or
+// deadline wait (they fail with ErrFetchCanceled) before closing the inner
+// transport.
+func (r *Resilient) Close() error {
+	r.closeOnce.Do(func() { close(r.closed) })
+	return r.inner.Close()
+}
 
 // retryMix hashes the jitter decision counter with the seed.
 func retryMix(a, b uint64) uint64 {

@@ -165,6 +165,71 @@ func TestResilientBackoffBounds(t *testing.T) {
 	}
 }
 
+// TestResilientBackoffCancel pins the interruptible-backoff behaviour: with
+// a multi-second backoff ahead of it, a fetch must return the moment its
+// cancel channel closes, classified as ErrFetchCanceled. Against the old
+// time.Sleep backoff this test fails — the sleep cannot be interrupted, so
+// the fetch stays parked for the full backoff and trips the deadline below.
+func TestResilientBackoffCancel(t *testing.T) {
+	inner := newFlakyFabric(2, 1000, -1) // every attempt fails
+	r := NewResilient(inner, 2, RetryConfig{
+		Retries: 3, Backoff: 2 * time.Second, MaxBackoff: 2 * time.Second,
+	}, nil)
+	defer r.Close()
+
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := r.FetchCancel(0, 1, nil, cancel)
+		done <- err
+	}()
+	// Let the first attempt fail and the fetch park in its 2s backoff, then
+	// cancel.
+	time.Sleep(20 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFetchCanceled) {
+			t.Fatalf("err = %v, want ErrFetchCanceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+			t.Fatalf("cancellation took %v, want well under the 2s backoff", elapsed)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("fetch still parked in backoff 500ms after cancel")
+	}
+	if got := inner.calls[1].Load(); got != 1 {
+		t.Fatalf("attempts after cancel = %d, want 1 (cancel must stop the retry schedule)", got)
+	}
+}
+
+// TestResilientCloseUnblocksBackoff checks the fabric-wide half of the same
+// fix: Close releases callers parked in a backoff even when they passed no
+// cancel channel.
+func TestResilientCloseUnblocksBackoff(t *testing.T) {
+	inner := newFlakyFabric(2, 1000, -1)
+	r := NewResilient(inner, 2, RetryConfig{
+		Retries: 3, Backoff: 2 * time.Second, MaxBackoff: 2 * time.Second,
+	}, nil)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Fetch(0, 1, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFetchCanceled) {
+			t.Fatalf("err = %v, want ErrFetchCanceled", err)
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("fetch still parked in backoff 500ms after Close")
+	}
+}
+
 // TestResilientPassThroughOnRealFabric runs the resilient layer over the
 // real Local fabric and checks results and accounting are untouched.
 func TestResilientPassThroughOnRealFabric(t *testing.T) {

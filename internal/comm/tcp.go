@@ -324,7 +324,7 @@ func (t *TCP) conn(from, to, class int) (*tcpConn, error) {
 		return c, nil
 	}
 	if to < 0 || to >= len(t.addrs) {
-		return nil, fmt.Errorf("comm: fetch to unknown node %d", to)
+		return nil, fmt.Errorf("comm: fetch to node %d: %w", to, ErrUnknownNode)
 	}
 	if t.dialed[key] {
 		// This pair had a live connection before; re-establishing it is a

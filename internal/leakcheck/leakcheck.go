@@ -1,0 +1,55 @@
+// Package leakcheck fails tests that leak goroutines. The chaos and TCP
+// fabric tests exercise exactly the code whose goroutines are easiest to
+// strand — abandoned fetch attempts, heartbeat loops, speculative engines —
+// and the goroutinejoin analyzer can only prove a join exists, not that it
+// is reached. This runtime check closes that gap with nothing but the
+// standard library: snapshot the goroutine count at test start, then after
+// the test give exiting goroutines a settle window and fail if the count
+// never returns to the baseline.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// patience bounds the settle loop: goroutines legitimately unwinding after
+// Close (parked fetch attempts, detector loops draining) get this long to
+// disappear before the test is declared leaky.
+const patience = 2 * time.Second
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails the test if the count has not settled back to the baseline by the
+// end of the test. Call it first thing, before any fabric or cluster is
+// built.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if msg := settle(before, patience); msg != "" {
+			t.Error(msg)
+		}
+	})
+}
+
+// settle polls until the goroutine count drops to the baseline or the
+// patience budget runs out, and returns a leak report (with all stacks) in
+// the latter case.
+func settle(before int, patience time.Duration) string {
+	deadline := time.Now().Add(patience)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return fmt.Sprintf("goroutine leak: %d at test start, %d after settle window\n%s", before, n, buf)
+		}
+		//khuzdulvet:ignore sleepban settle polling between runtime.NumGoroutine samples has no channel to wait on
+		time.Sleep(2 * time.Millisecond)
+	}
+}
