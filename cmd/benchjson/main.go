@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench -benchmem` text output into the
+// committed benchmark-evidence format (BENCH_hotpath.json): one entry per
+// benchmark with a caller-chosen label, merged into an existing file so
+// before/after pairs accumulate side by side.
+//
+// Usage:
+//
+//	go test ./internal/setops ./internal/core -run '^$' \
+//	    -bench 'Extend|Intersect' -benchmem |
+//	    go run ./cmd/benchjson -label after -out BENCH_hotpath.json
+//
+// Entries are keyed by (name, label): re-running with the same label
+// replaces the previous measurement instead of duplicating it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Label       string  `json:"label"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the file layout.
+type Doc struct {
+	// Regenerate documents the pipeline that rebuilds the file.
+	Regenerate string  `json:"regenerate"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+const regenerate = "go test ./internal/setops ./internal/core -run '^$' -bench 'Extend|Intersect' -benchmem | go run ./cmd/benchjson -label <before|after> -out BENCH_hotpath.json"
+
+func main() {
+	label := flag.String("label", "", "label for the parsed entries (e.g. before, after)")
+	out := flag.String("out", "", "JSON file to merge into (stdout when empty)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+	entries, err := parseBench(os.Stdin, *label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	doc := Doc{Regenerate: regenerate}
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
+				os.Exit(2)
+			}
+			doc.Regenerate = regenerate
+		}
+	}
+	doc.Benchmarks = merge(doc.Benchmarks, entries)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// merge replaces entries sharing (name, label) with their new measurement
+// and keeps the rest, sorted by name then label for stable diffs.
+func merge(old, add []Entry) []Entry {
+	replaced := map[string]bool{}
+	for _, e := range add {
+		replaced[e.Name+"\x00"+e.Label] = true
+	}
+	out := make([]Entry, 0, len(old)+len(add))
+	for _, e := range old {
+		if !replaced[e.Name+"\x00"+e.Label] {
+			out = append(out, e)
+		}
+	}
+	out = append(out, add...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// parseBench extracts benchmark result lines from `go test -bench` output:
+//
+//	BenchmarkExtendEngine-8   220   5304047 ns/op   3074537 B/op   11454 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from names so measurements from hosts
+// with different core counts merge onto the same key.
+func parseBench(r io.Reader, label string) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: trimProcs(fields[0]), Label: label, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				if e.NsPerOp, err = strconv.ParseFloat(v, 64); err != nil {
+					return nil, fmt.Errorf("bad ns/op %q", v)
+				}
+			case "B/op":
+				if e.BytesPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+					return nil, fmt.Errorf("bad B/op %q", v)
+				}
+			case "allocs/op":
+				if e.AllocsPerOp, err = strconv.ParseInt(v, 10, 64); err != nil {
+					return nil, fmt.Errorf("bad allocs/op %q", v)
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// trimProcs strips a trailing -N GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: khuzdul/internal/setops
+BenchmarkIntersectMany-8 	  246433	      4888 ns/op	     560 B/op	       9 allocs/op
+BenchmarkExtendEngine 	     220	   5304047 ns/op	 3074537 B/op	   11454 allocs/op
+PASS
+`
+	entries, err := parseBench(strings.NewReader(out), "before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(entries))
+	}
+	first := entries[0]
+	if first.Name != "BenchmarkIntersectMany" || first.Label != "before" ||
+		first.Iterations != 246433 || first.NsPerOp != 4888 ||
+		first.BytesPerOp != 560 || first.AllocsPerOp != 9 {
+		t.Fatalf("bad first entry: %+v", first)
+	}
+	if entries[1].Name != "BenchmarkExtendEngine" || entries[1].AllocsPerOp != 11454 {
+		t.Fatalf("bad second entry: %+v", entries[1])
+	}
+}
+
+func TestMergeReplacesSameKey(t *testing.T) {
+	old := []Entry{
+		{Name: "BenchmarkA", Label: "before", AllocsPerOp: 9},
+		{Name: "BenchmarkA", Label: "after", AllocsPerOp: 5},
+	}
+	got := merge(old, []Entry{{Name: "BenchmarkA", Label: "after", AllocsPerOp: 0}})
+	if len(got) != 2 {
+		t.Fatalf("merged to %d entries, want 2", len(got))
+	}
+	// Sorted by name then label: "after" precedes "before".
+	if got[0].Label != "after" || got[0].AllocsPerOp != 0 {
+		t.Fatalf("replacement lost: %+v", got[0])
+	}
+	if got[1].Label != "before" || got[1].AllocsPerOp != 9 {
+		t.Fatalf("unrelated entry changed: %+v", got[1])
+	}
+}

@@ -1,18 +1,24 @@
 // Command khuzdulvet runs the project-specific static analyzer suite from
 // internal/analysis over the Khuzdul tree and reports every invariant
-// violation as "file:line:col: [analyzer] message".
+// violation as "file:line:col: [analyzer] message", or — under -json — as
+// one JSON object per line ({"file":...,"line":...,"col":...,"analyzer":...,
+// "message":...}), the format .github/khuzdulvet-matcher.json annotates in
+// CI.
 //
 // Usage:
 //
 //	go run ./cmd/khuzdulvet ./...
+//	go run ./cmd/khuzdulvet -json ./...
 //	go run ./cmd/khuzdulvet -list
 //	go run ./cmd/khuzdulvet ./internal/comm/... ./internal/cluster
 //
-// Exit status is 0 when the tree is clean, 1 when findings (or malformed
-// ignore directives) exist, and 2 when loading or type-checking fails.
+// Exit status is 0 when the tree is clean, 1 when findings (including
+// malformed or stale ignore directives) exist, and 2 when loading or
+// type-checking fails.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,16 @@ import (
 	"khuzdul/internal/analysis"
 )
 
+// jsonFinding is the -json line format. Field order is the declaration
+// order, which the CI problem matcher's regexp depends on.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -30,8 +46,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	flags := flag.NewFlagSet("khuzdulvet", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzer suite and exit")
+	jsonOut := flags.Bool("json", false, "emit one JSON object per finding (for CI problem matchers)")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: khuzdulvet [-list] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: khuzdulvet [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(stderr, "Runs the Khuzdul invariant analyzers over the enclosing module.\n")
 		fmt.Fprintf(stderr, "Package patterns are directory-based (./..., ./internal/comm/...).\n\n")
 		flags.PrintDefaults()
@@ -70,11 +87,35 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := analysis.Run(pkgs, suite)
+	stale := 0
 	for _, d := range diags {
-		fmt.Fprintln(stdout, rel(cwd, d))
+		d = rel(cwd, d)
+		if d.Analyzer == "staleignore" {
+			stale++
+		}
+		if *jsonOut {
+			line, err := json.Marshal(jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(line))
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "khuzdulvet: %d finding(s)\n", len(diags))
+		if stale > 0 {
+			fmt.Fprintf(stderr, "khuzdulvet: %d finding(s), including %d stale ignore directive(s) that no longer suppress anything\n", len(diags), stale)
+		} else {
+			fmt.Fprintf(stderr, "khuzdulvet: %d finding(s)\n", len(diags))
+		}
 		return 1
 	}
 	return 0
@@ -147,11 +188,11 @@ func patternMatcher(pat, cwd, root, modulePath string) (func(string) bool, error
 	}, nil
 }
 
-// rel renders a diagnostic with its filename relative to the working
-// directory when possible, keeping output stable across checkouts.
-func rel(cwd string, d analysis.Diagnostic) string {
+// rel rewrites a diagnostic's filename relative to the working directory
+// when possible, keeping output stable across checkouts.
+func rel(cwd string, d analysis.Diagnostic) analysis.Diagnostic {
 	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
 		d.Pos.Filename = r
 	}
-	return d.String()
+	return d
 }

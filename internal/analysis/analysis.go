@@ -48,6 +48,10 @@ type Pass struct {
 	Files []*ast.File
 	// Info is the type-checking fact base for Files.
 	Info *types.Info
+	// Prog is the whole-program tier-2 fact base (call graph, directive
+	// roots, reachability, summaries) built once per Run over every loaded
+	// package — not just this pass's. Tier-1 analyzers ignore it.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -114,14 +118,17 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, sink *[]Diagnosti
 	return out
 }
 
-// suppressed reports whether d is covered by a directive on its own line or
-// the line directly above.
+// covers reports whether one directive suppresses d: same analyzer, same
+// file, on d's line or the line directly above.
+func covers(dir ignoreDirective, d Diagnostic) bool {
+	return dir.analyzer == d.Analyzer && dir.file == d.Pos.Filename &&
+		(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1)
+}
+
+// suppressed reports whether d is covered by any directive.
 func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 	for _, dir := range dirs {
-		if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
-			continue
-		}
-		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+		if covers(dir, d) {
 			return true
 		}
 	}
@@ -129,8 +136,21 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// findings sorted by position.
+// findings sorted by position. The whole-program call graph is built once
+// over all packages and shared by every pass through Pass.Prog.
+//
+// Besides analyzer findings, Run audits the escape hatches: an ignore
+// directive naming an analyzer in the running set that suppresses no finding
+// is itself reported (analyzer "staleignore"), so suppressions cannot outlive
+// the code they excused. Directives naming analyzers outside the running set
+// are left alone — a single-analyzer run must not condemn the others'
+// directives.
 func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
@@ -142,14 +162,34 @@ func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Files:    pkg.Files,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &diags,
 			}
 			a.Run(pass)
+		}
+		used := make([]bool, len(dirs))
+		for _, d := range diags {
+			for i, dir := range dirs {
+				if covers(dir, d) {
+					used[i] = true
+				}
+			}
 		}
 		for _, d := range diags {
 			if !suppressed(d, dirs) {
 				all = append(all, d)
 			}
+		}
+		for i, dir := range dirs {
+			if used[i] || !running[dir.analyzer] {
+				continue
+			}
+			all = append(all, Diagnostic{
+				Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+				Analyzer: "staleignore",
+				Message: fmt.Sprintf("stale ignore directive: no %s finding here anymore — remove the //khuzdulvet:ignore",
+					dir.analyzer),
+			})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -168,7 +208,8 @@ func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
 	return all
 }
 
-// Suite returns the full khuzdulvet analyzer suite.
+// Suite returns the full khuzdulvet analyzer suite: the tier-1 AST analyzers
+// of PR 3 plus the tier-2 call-graph analyzers.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		WireCodec,
@@ -176,5 +217,8 @@ func Suite() []*Analyzer {
 		ErrClass,
 		SleepBan,
 		LockSend,
+		HotAlloc,
+		MapOrder,
+		CancelPoll,
 	}
 }

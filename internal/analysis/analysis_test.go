@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/types"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -113,6 +114,88 @@ func TestGoroutineJoin(t *testing.T) { runFixtureTest(t, GoroutineJoin) }
 func TestErrClass(t *testing.T)      { runFixtureTest(t, ErrClass) }
 func TestSleepBan(t *testing.T)      { runFixtureTest(t, SleepBan) }
 func TestLockSend(t *testing.T)      { runFixtureTest(t, LockSend) }
+func TestHotAlloc(t *testing.T)      { runFixtureTest(t, HotAlloc) }
+func TestMapOrder(t *testing.T)      { runFixtureTest(t, MapOrder) }
+func TestCancelPoll(t *testing.T)    { runFixtureTest(t, CancelPoll) }
+
+// TestCallGraph pins the program construction the tier-2 analyzers rely on:
+// directive roots, interface-method over-approximation, reachability and the
+// blocks/polls summaries, using the hotalloc and cancelpoll fixtures.
+func TestCallGraph(t *testing.T) {
+	pkgs := fixtureSubset(t, "hotalloc")
+	pkgs = append(pkgs, fixtureSubset(t, "cancelpoll")...)
+	prog := BuildProgram(pkgs)
+
+	byName := map[string]bool{}
+	for fn := range prog.Hot {
+		byName[fn.Pkg().Path()+"."+fn.Name()] = true
+	}
+	for _, want := range []string{
+		"hotalloc.Hot",            // directive root
+		"hotalloc.helper",         // static call from the root
+		"hotalloc.merge",          // static call from the root
+		"hotalloc.Do",             // interface-method over-approximation
+		"hotalloc/kernels.Shrink", // package-clause directive
+		"hotalloc/kernels.Grow",   // package-clause directive
+	} {
+		if !byName[want] {
+			t.Errorf("expected %s in the hot set; hot = %v", want, byName)
+		}
+	}
+	if byName["hotalloc.Cold"] {
+		t.Errorf("hotalloc.Cold must not be hot-reachable")
+	}
+
+	var drain, waitStop *types.Func
+	for fn := range prog.Decls {
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "cancelpoll.drain":
+			drain = fn
+		case "cancelpoll.waitStop":
+			waitStop = fn
+		}
+	}
+	if drain == nil || waitStop == nil {
+		t.Fatalf("fixture functions missing from program")
+	}
+	if !prog.Long[drain] {
+		t.Errorf("drain must be longrun-reachable through RunIndirect")
+	}
+	if !prog.Blocks(drain) {
+		t.Errorf("drain must summarize as blocking")
+	}
+	if !prog.Polls(waitStop) {
+		t.Errorf("waitStop must summarize as polling (cancel-named select case)")
+	}
+	if prog.Polls(drain) {
+		t.Errorf("drain must not summarize as polling")
+	}
+}
+
+// TestStaleIgnore checks the audit both ways: the used directive stays
+// silent (and keeps suppressing), the orphaned one is reported.
+func TestStaleIgnore(t *testing.T) {
+	pkgs := fixtureSubset(t, "staleignore")
+	diags := Run(pkgs, []*Analyzer{SleepBan})
+	var stale int
+	for _, d := range diags {
+		if d.Analyzer != "staleignore" {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		stale++
+		if !strings.Contains(d.Message, "sleepban") || !strings.Contains(d.Message, "stale") {
+			t.Errorf("stale diagnostic has unexpected message: %s", d)
+		}
+	}
+	if stale != 1 {
+		t.Errorf("got %d stale-ignore diagnostics, want 1: %v", stale, diags)
+	}
+	// A run without sleepban in the set must not condemn its directives.
+	if extra := Run(pkgs, []*Analyzer{WireCodec}); len(extra) != 0 {
+		t.Errorf("directives for analyzers outside the running set were audited: %v", extra)
+	}
+}
 
 // TestIgnoreDirectives checks the three directive behaviours: a well-formed
 // directive (above or on the line) suppresses, a malformed one becomes a

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the tier-2 view of the module: a whole-program approximate
+// call graph over every loaded package. Tier-1 analyzers look at one package's
+// syntax; the properties that matter most after PR 3 — heap traffic on the
+// per-task hot path, cancellation-poll coverage of long-running loops — are
+// cross-function, so they need reachability.
+//
+// The graph is deliberately approximate, in the only direction that is safe
+// for each client:
+//
+//   - Static calls resolve exactly through go/types object identity (the
+//     loader shares *types.Package across importers, so a call into another
+//     module package resolves to the same *types.Func the defining package
+//     declared).
+//   - A call through an interface method over-approximates to every concrete
+//     method in the program with that name whose receiver implements the
+//     interface. Hot-path reachability and cancel-poll propagation both want
+//     the union of possible callees.
+//   - Calls of function values (fields, parameters, locals) resolve to
+//     nothing. Analyzers that care about those sites match them syntactically
+//     (e.g. cancelpoll treats a call of a func value named Canceled as a
+//     poll).
+//
+// Roots come from two directives, mirroring //khuzdulvet:ignore:
+//
+//	//khuzdulvet:hotpath [reason]   on a function: the function is a
+//	    per-task hot-path root; on a package clause: every function in the
+//	    package is.
+//	//khuzdulvet:longrun [reason]   likewise, for long-running loops that
+//	    must stay cancellable.
+
+const (
+	hotpathPrefix = "khuzdulvet:hotpath"
+	longrunPrefix = "khuzdulvet:longrun"
+)
+
+// Program is the whole-program fact base shared by every tier-2 analyzer of
+// one Run: declarations, call edges, directive-marked roots, reachability
+// closures, and per-function summaries.
+type Program struct {
+	// Decls maps every function and method object declared in the loaded
+	// packages to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// DeclList holds the same functions sorted by full name. Every iteration
+	// that feeds an ordered artifact — root lists, call edges, diagnostics —
+	// walks this list rather than ranging Decls, so a Run's output is
+	// identical from one execution to the next (the same determinism maporder
+	// demands of the engine).
+	DeclList []*types.Func
+	// InfoOf returns the type-checking fact base of the package declaring fn
+	// (needed to resolve calls inside fn's body).
+	InfoOf map[*types.Func]*types.Info
+	// Callees holds the approximate out-edges of each declared function:
+	// static callees plus the implementation expansion of interface-method
+	// callees. Only functions declared in the program appear as targets.
+	Callees map[*types.Func][]*types.Func
+	// syncCallees is Callees minus edges introduced by `go` statements:
+	// a spawned goroutine's blocking or polling happens on its own stack,
+	// so summary propagation must not attribute it to the spawner.
+	// Reachability (Hot/Long) still uses the full edge set — work done on a
+	// spawned goroutine is still on the hot or long-running path.
+	syncCallees map[*types.Func][]*types.Func
+	// HotRoots and LongRoots are the directive-marked entry points.
+	HotRoots  []*types.Func
+	LongRoots []*types.Func
+	// Hot and Long are the forward-reachability closures of the roots.
+	Hot  map[*types.Func]bool
+	Long map[*types.Func]bool
+
+	// summaries are the per-function facts of summary.go, computed to a
+	// fixpoint over Callees.
+	polls  map[*types.Func]bool
+	blocks map[*types.Func]bool
+}
+
+// BuildProgram constructs the call graph, reachability closures and function
+// summaries for the given packages. It is called once per Run and shared by
+// every pass through Pass.Prog.
+func BuildProgram(pkgs []*LoadedPackage) *Program {
+	p := &Program{
+		Decls:       map[*types.Func]*ast.FuncDecl{},
+		InfoOf:      map[*types.Func]*types.Info{},
+		Callees:     map[*types.Func][]*types.Func{},
+		syncCallees: map[*types.Func][]*types.Func{},
+		Hot:         map[*types.Func]bool{},
+		Long:        map[*types.Func]bool{},
+	}
+	// Phase 1: declarations and directive-marked roots.
+	type markedPkg struct{ hot, long bool }
+	pkgMarks := map[*types.Package]*markedPkg{}
+	for _, pkg := range pkgs {
+		for fn, fd := range funcDecls(pkg.Info, pkg.Files) {
+			p.Decls[fn] = fd
+			p.InfoOf[fn] = pkg.Info
+		}
+		for _, f := range pkg.Files {
+			hot, long := directiveKinds(f.Doc)
+			if hot || long {
+				m := pkgMarks[pkg.Types]
+				if m == nil {
+					m = &markedPkg{}
+					pkgMarks[pkg.Types] = m
+				}
+				m.hot = m.hot || hot
+				m.long = m.long || long
+			}
+		}
+	}
+	for fn := range p.Decls {
+		p.DeclList = append(p.DeclList, fn)
+	}
+	sort.Slice(p.DeclList, func(i, j int) bool {
+		return p.DeclList[i].FullName() < p.DeclList[j].FullName()
+	})
+	for _, fn := range p.DeclList {
+		hot, long := directiveKinds(p.Decls[fn].Doc)
+		if m := pkgMarks[fn.Pkg()]; m != nil {
+			hot = hot || m.hot
+			long = long || m.long
+		}
+		if hot {
+			p.HotRoots = append(p.HotRoots, fn)
+		}
+		if long {
+			p.LongRoots = append(p.LongRoots, fn)
+		}
+	}
+
+	// Phase 2: call edges. Interface-method callees expand to every declared
+	// concrete method implementing the interface; function literals belong to
+	// their enclosing declaration (a helper goroutine spawned on the hot path
+	// is still hot).
+	methodIndex := map[string][]*types.Func{}
+	for _, fn := range p.DeclList {
+		if recv := recvOf(fn); recv != nil {
+			if _, isIface := recv.Type().Underlying().(*types.Interface); !isIface {
+				methodIndex[fn.Name()] = append(methodIndex[fn.Name()], fn)
+			}
+		}
+	}
+	for _, fn := range p.DeclList {
+		fd := p.Decls[fn]
+		info := p.InfoOf[fn]
+		seen := map[*types.Func]bool{}
+		seenSync := map[*types.Func]bool{}
+		goCalls := map[*ast.CallExpr]bool{}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goCalls[g.Call] = true
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			for _, target := range p.resolve(callee, methodIndex) {
+				if !seen[target] {
+					seen[target] = true
+					p.Callees[fn] = append(p.Callees[fn], target)
+				}
+				if !goCalls[call] && !seenSync[target] {
+					seenSync[target] = true
+					p.syncCallees[fn] = append(p.syncCallees[fn], target)
+				}
+			}
+			return true
+		})
+	}
+
+	p.Hot = p.reachable(p.HotRoots)
+	p.Long = p.reachable(p.LongRoots)
+	p.computeSummaries()
+	return p
+}
+
+// resolve expands one statically-resolved callee object into declared
+// targets: the object itself when it has a body, or — for an interface
+// method — every declared concrete method implementing it.
+func (p *Program) resolve(callee *types.Func, methodIndex map[string][]*types.Func) []*types.Func {
+	recv := recvOf(callee)
+	if recv == nil {
+		if _, ok := p.Decls[callee]; ok {
+			return []*types.Func{callee}
+		}
+		return nil
+	}
+	iface, isIface := recv.Type().Underlying().(*types.Interface)
+	if !isIface {
+		if _, ok := p.Decls[callee]; ok {
+			return []*types.Func{callee}
+		}
+		return nil
+	}
+	var out []*types.Func
+	for _, cand := range methodIndex[callee.Name()] {
+		rt := recvOf(cand).Type()
+		if types.Implements(rt, iface) {
+			out = append(out, cand)
+			continue
+		}
+		if _, isPtr := rt.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(rt), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// reachable is forward BFS from roots over Callees.
+func (p *Program) reachable(roots []*types.Func) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), roots...)
+	for _, r := range roots {
+		out[r] = true
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, c := range p.Callees[fn] {
+			if !out[c] {
+				out[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}
+
+// recvOf returns fn's receiver variable, or nil for plain functions.
+func recvOf(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// directiveKinds reports whether a doc comment group carries the hotpath or
+// longrun root directives. The trailing reason is optional — the directive
+// marks an entry point rather than suppressing a finding.
+func directiveKinds(doc *ast.CommentGroup) (hot, long bool) {
+	if doc == nil {
+		return false, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathPrefix || strings.HasPrefix(text, hotpathPrefix+" ") {
+			hot = true
+		}
+		if text == longrunPrefix || strings.HasPrefix(text, longrunPrefix+" ") {
+			long = true
+		}
+	}
+	return hot, long
+}

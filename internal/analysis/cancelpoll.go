@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CancelPoll guards cancellability of the long-running machinery:
+// speculation's first-completion-wins protocol (§4 of the resilience design)
+// and fabric Close both depend on every loop that can park on channel
+// communication also observing a cancellation signal. A loop that blocks and
+// never polls strands the goroutine: a losing speculative engine keeps
+// holding fetch batches, Close hangs behind it, and the driver's exact-count
+// reconciliation waits forever.
+//
+// The analyzer walks every function reachable from a //khuzdulvet:longrun
+// root. For each for/range loop it computes, over the loop's entire subtree
+// (nested loops and callees included, via the call-graph summaries):
+//
+//	blocks — the loop's own iteration can park: a receive, send, or select
+//	    without default appears outside nested loops and function literals,
+//	    or a called function (transitively) blocks;
+//	polls — anywhere in the subtree, cancellation is observed: a call of a
+//	    Canceled-shaped predicate, a receive or select case on a
+//	    cancel-named channel, or a callee that polls.
+//
+// A loop with blocks && !polls is flagged. Blocking evidence inside a nested
+// loop is attributed to that nested loop (it gets its own finding); blocking
+// inside a spawned function literal belongs to the spawned goroutine, not
+// this loop. sync.WaitGroup.Wait is not blocking evidence (see summary.go).
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc: "loops reachable from //khuzdulvet:longrun roots that block on " +
+		"channels must poll Config.Canceled or select on a cancel channel",
+	Run: runCancelPoll,
+}
+
+func runCancelPoll(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, fn := range pass.Prog.DeclList {
+		fd := pass.Prog.Decls[fn]
+		if fn.Pkg() != pass.Pkg || !pass.Prog.Long[fn] || fd.Body == nil {
+			continue
+		}
+		c := &cancelScanner{pass: pass}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				if isChanType(pass.Info, loop.X) {
+					// Ranging over a channel is itself a blocking receive.
+					if !c.subtreePolls(loop.Body) {
+						pass.Reportf(loop.Pos(), "loop ranges over a channel but never polls cancellation; a stalled sender strands it (function %s)", fn.Name())
+					}
+					return true
+				}
+				body = loop.Body
+			default:
+				return true
+			}
+			if c.loopBlocks(body) && !c.subtreePolls(body) {
+				pass.Reportf(n.Pos(), "loop blocks on channel communication but never polls Config.Canceled or a cancel channel (function %s); cancellation and Close can strand it", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+type cancelScanner struct {
+	pass *Pass
+}
+
+// loopBlocks reports whether the loop body itself can park: a direct
+// blocking channel operation or a call to a (transitively) blocking
+// function, excluding nested loops (reported separately) and function
+// literals (the spawned goroutine blocks, not this loop).
+func (c *cancelScanner) loopBlocks(body *ast.BlockStmt) bool {
+	blocks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.RangeStmt:
+			if isChanType(c.pass.Info, n.X) {
+				blocks = true
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(c.pass.Info, n); fn != nil {
+				for _, target := range c.targets(fn) {
+					if c.pass.Prog.Blocks(target) {
+						blocks = true
+						return false
+					}
+				}
+			}
+		default:
+			if blocksNode(n) {
+				blocks = true
+				return false
+			}
+		}
+		return true
+	})
+	return blocks
+}
+
+// subtreePolls reports whether cancellation is observed anywhere under body:
+// directly, or through any resolved callee. Nested loops count — a poll in
+// an inner loop covers every enclosing loop's iteration.
+func (c *cancelScanner) subtreePolls(body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polls {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if pollsCancelNode(n) {
+			polls = true
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(c.pass.Info, call); fn != nil {
+				for _, target := range c.targets(fn) {
+					if c.pass.Prog.Polls(target) {
+						polls = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return polls
+}
+
+// targets resolves a callee object to its declared implementations: itself,
+// or — for an interface method — every concrete method the program declares
+// for it (the same expansion the call graph uses).
+func (c *cancelScanner) targets(fn *types.Func) []*types.Func {
+	if _, ok := c.pass.Prog.Decls[fn]; ok {
+		return []*types.Func{fn}
+	}
+	recv := recvOf(fn)
+	if recv == nil {
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, cand := range c.pass.Prog.DeclList {
+		cr := recvOf(cand)
+		if cr == nil || cand.Name() != fn.Name() {
+			continue
+		}
+		rt := cr.Type()
+		if types.Implements(rt, iface) {
+			out = append(out, cand)
+			continue
+		}
+		if _, isPtr := rt.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(rt), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}

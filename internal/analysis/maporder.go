@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder guards the determinism that exact-count recovery (§3.3 checkpoint
+// re-execution) and speculation's first-completion-wins reconciliation depend
+// on: two executions of the same work must produce the same observable
+// sequence of wire requests, partition decisions and reported results. Go map
+// iteration order is deliberately randomized, so a `range` over a map whose
+// body feeds an order-sensitive sink makes runs diverge — fetch batches
+// arrive in different orders, caches evict different entries, encoded frames
+// carry bytes in different orders.
+//
+// Flagged sinks inside a map-range body:
+//
+//   - any call into internal/comm (fabric fetches, codecs, frame writers);
+//   - a channel send;
+//   - writes (methods named Write/WriteString/Flush, fmt.Fprint*);
+//   - append to a slice declared outside the loop — unless the function
+//     later sorts that slice (the collect-then-sort idiom is deterministic).
+//
+// Inserting into another map, counting, or commutative accumulation are not
+// sinks: order cannot be observed through them.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "no range over a map whose iteration order flows into wire traffic, " +
+		"channel sends, writes, or unsorted collected slices",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedSlices(pass.Info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.Info, rs.X) {
+					return true
+				}
+				checkMapRange(pass, rs, sorted)
+				return true
+			})
+		}
+	}
+}
+
+// isMapType reports whether e has a map type.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange scans one map-range body for order-sensitive sinks and
+// reports the strongest one found (wire traffic > channel send > write >
+// unsorted collection): one finding per loop keeps the signal readable when
+// a body hits several sinks at once.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorted map[*types.Var]bool) {
+	var commName, writeName, collectName string
+	var sends bool
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sends = true
+		case *ast.CallExpr:
+			if name, ok := commSink(pass.Info, n); ok && commName == "" {
+				commName = name
+			}
+			if name, ok := writeSink(pass.Info, n); ok && writeName == "" {
+				writeName = name
+			}
+			if isBuiltinCall(pass.Info, n, "append") && len(n.Args) > 0 {
+				if v := rootVar(pass.Info, n.Args[0]); v != nil && !sorted[v] && declaredOutside(v, rs) && collectName == "" {
+					collectName = v.Name()
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case commName != "":
+		pass.Reportf(rs.Pos(), "map iteration order drives %s: wire traffic ordering differs every run; iterate sorted keys", commName)
+	case sends:
+		pass.Reportf(rs.Pos(), "map iteration order flows into a channel send; receivers observe a different order every run")
+	case writeName != "":
+		pass.Reportf(rs.Pos(), "map iteration order flows into %s; output ordering differs every run", writeName)
+	case collectName != "":
+		pass.Reportf(rs.Pos(), "map iteration order is collected into slice %q which is never sorted; sort it or iterate sorted keys", collectName)
+	}
+}
+
+// commSink reports whether call invokes a function or method declared in a
+// comm package (fabric operations, codecs, frame I/O) — the wire boundary
+// where request ordering becomes observable.
+func commSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if pathHasSegments(path, "internal", "comm") || path == "comm" {
+		return fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// writeSink reports whether call is a write: a method named Write,
+// WriteString, WriteByte or Flush, or an fmt.Fprint* call.
+func writeSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return "fmt." + fn.Name(), true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "Flush":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// rootVar resolves the base identifier of an expression (x, x.f → x) to its
+// variable object, or nil.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether v's declaration lies outside the range
+// statement — a slice accumulated across iterations, whose final element
+// order mirrors the map's iteration order.
+func declaredOutside(v *types.Var, rs *ast.RangeStmt) bool {
+	return v.Pos() < rs.Pos() || v.Pos() > rs.End()
+}
+
+// sortedSlices collects the variables fd passes to a sort call
+// (sort.Slice/Sort/Ints/Strings, slices.Sort*): collecting map keys or
+// values and sorting afterwards is the canonical deterministic iteration
+// idiom and must not be flagged.
+func sortedSlices(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !strings.HasPrefix(fn.Name(), "Sort") && !strings.HasSuffix(fn.Name(), "Sort") &&
+			fn.Name() != "Slice" && fn.Name() != "SliceStable" &&
+			fn.Name() != "Ints" && fn.Name() != "Strings" && fn.Name() != "Float64s" {
+			return true
+		}
+		if v := rootVar(info, call.Args[0]); v != nil {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Per-function summaries over the call graph. Two facts matter to the tier-2
+// analyzers and both propagate through calls:
+//
+//   - blocks: the function can park on channel communication (a receive, a
+//     send, a select without a default, a range over a channel) directly or
+//     via a callee. sync.WaitGroup.Wait is deliberately not counted — a
+//     fork/join barrier over workers the function itself spawned is not the
+//     stranded-on-a-peer shape cancelpoll exists to catch, and counting it
+//     would flag every recovery round's join.
+//   - polls: the function observes cancellation directly or via a callee — it
+//     calls a Canceled()-shaped predicate, or receives/selects on a channel
+//     whose name says cancel/stop/done/quit/closed.
+//
+// Both are syntactic over-approximations refined to a fixpoint over the
+// approximate call graph; cancelpoll combines them per loop.
+
+// computeSummaries derives the direct facts per declared function, then
+// propagates them over Callees until nothing changes. Cycles (recursion)
+// converge because facts only ever flip false→true.
+func (p *Program) computeSummaries() {
+	p.polls = map[*types.Func]bool{}
+	p.blocks = map[*types.Func]bool{}
+	for fn, fd := range p.Decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				// A spawned goroutine blocks and polls on its own stack.
+				return false
+			}
+			if pollsCancelNode(n) {
+				p.polls[fn] = true
+			}
+			if blocksNode(n) {
+				p.blocks[fn] = true
+			}
+			return !(p.polls[fn] && p.blocks[fn])
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range p.Decls {
+			for _, c := range p.syncCallees[fn] {
+				if p.polls[c] && !p.polls[fn] {
+					p.polls[fn] = true
+					changed = true
+				}
+				if p.blocks[c] && !p.blocks[fn] {
+					p.blocks[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// Polls reports whether fn (transitively) observes cancellation.
+func (p *Program) Polls(fn *types.Func) bool { return p.polls[fn] }
+
+// Blocks reports whether fn (transitively) can park on channel communication.
+func (p *Program) Blocks(fn *types.Func) bool { return p.blocks[fn] }
+
+// cancelNames are the substrings that make a channel identifier read as a
+// cancellation signal.
+var cancelNames = []string{"cancel", "stop", "done", "quit", "closed"}
+
+// isCancelChan reports whether the source text of a channel expression names
+// a cancellation signal (b.stopCh, r.closed, ctx.Done(), ...).
+func isCancelChan(e ast.Expr) bool {
+	text := strings.ToLower(types.ExprString(e))
+	for _, n := range cancelNames {
+		if strings.Contains(text, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// pollsCancelNode reports whether n directly observes cancellation: a call of
+// a Canceled-shaped predicate (core.Config.Canceled and wrappers), a receive
+// from a cancel-named channel, or a select with a cancel-named receive case.
+func pollsCancelNode(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		name := calledName(n)
+		return name == "Canceled" || name == "canceled" || strings.HasSuffix(name, "Canceled")
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW && isCancelChan(n.X)
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if recv := commRecvExpr(cc.Comm); recv != nil && isCancelChan(recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blocksNode reports whether n is a directly-blocking channel operation.
+// Ranges over channels (rare in this tree) are re-checked with type info by
+// cancelpoll itself; the summary walk spans many packages and stays
+// syntactic.
+func blocksNode(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW
+	case *ast.SendStmt:
+		return true
+	case *ast.SelectStmt:
+		return !selectHasDefault(n)
+	}
+	return false
+}
+
+// calledName returns the bare name of the called function or method,
+// whatever the callee resolves to — including calls of func-typed fields
+// like e.cfg.Canceled().
+func calledName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// commRecvExpr extracts the channel expression of a select case's receive
+// statement, or nil when the case is a send.
+func commRecvExpr(s ast.Stmt) ast.Expr {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}

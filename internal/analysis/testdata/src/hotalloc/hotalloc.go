@@ -1,0 +1,79 @@
+// Package hotalloc is the hotalloc fixture: allocation shapes in functions
+// reachable from a //khuzdulvet:hotpath root must be flagged; the same
+// shapes in cold functions, and the allocation-free idioms (caller-owned
+// dst, pointer receivers into interfaces), are the legal near misses.
+package hotalloc
+
+import "fmt"
+
+type pair struct{ a, b uint64 }
+
+type table struct{ data []uint64 }
+
+func (t *table) lookup(i int) uint64 { return t.data[i] }
+
+// kernel is an interface dispatched on the hot path; implementations are
+// reached through the over-approximated call graph.
+type kernel interface {
+	Do(n int) []uint64
+}
+
+type badKernel struct{}
+
+func (badKernel) Do(n int) []uint64 {
+	return make([]uint64, n) // want "make on the hot path"
+}
+
+// Hot is the fixture's hot-path root.
+//
+//khuzdulvet:hotpath fixture root
+func Hot(dst, a, b []uint64, t *table, k kernel, use func(func(int) uint64) uint64) []uint64 {
+	out := make([]uint64, len(a)) // want "make on the hot path"
+	_ = out
+	p := new(pair) // want "new on the hot path"
+	_ = p
+	var grown []uint64
+	grown = append(grown, a...)        // want "append to an empty slice"
+	tmp := append([]uint64(nil), b...) // want "append to an empty slice"
+	_ = tmp
+	lits := []uint64{1, 2} // want "slice literal on the hot path"
+	_ = lits
+	seen := map[uint64]bool{} // want "map literal on the hot path"
+	_ = seen
+	q := &pair{a: 1} // want "composite literal on the hot path escapes"
+	_ = q
+	_ = fmt.Sprintf("%d", len(a)) // want "call to fmt.Sprintf on the hot path"
+	_ = merge(nil, a, b)          // want "nil dst argument of merge forces the callee"
+	box(len(a))                   // want "boxes a int into an interface of box"
+	box(t)                        // pointers fit the interface word: no boxing
+	_ = use(t.lookup)             // want "bound method value t.lookup allocates a closure"
+	_ = k.Do(len(a))              // finding is inside the implementation
+	grown = helper(grown)
+	return merge(dst, grown, b)
+}
+
+// helper has no directive but is reachable from Hot, so it is hot too.
+func helper(dst []uint64) []uint64 {
+	extra := new(pair) // want "new on the hot path"
+	_ = extra
+	return dst
+}
+
+// merge appends into caller-owned dst: the allocation-free idiom.
+func merge(dst, a, b []uint64) []uint64 {
+	dst = append(dst, a...)
+	return append(dst, b...)
+}
+
+func box(v interface{}) {}
+
+// Cold repeats every flagged shape outside the hot set: no findings.
+func Cold(a []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	var grown []uint64
+	grown = append(grown, a...)
+	_ = grown
+	_ = fmt.Sprintf("%d", len(a))
+	_ = merge(nil, a, a)
+	return out
+}

@@ -1,0 +1,21 @@
+// Package kernels is marked hot wholesale via a package-clause directive,
+// the way internal/setops is: every function in it is a hot-path root.
+//
+//khuzdulvet:hotpath fixture package-level root
+package kernels
+
+// Shrink allocates an intermediate instead of reusing dst.
+func Shrink(dst, a []uint64) []uint64 {
+	tmp := make([]uint64, 0, len(a)) // want "make on the hot path"
+	for _, x := range a {
+		if x%2 == 0 {
+			tmp = append(tmp, x)
+		}
+	}
+	return append(dst, tmp...)
+}
+
+// Grow appends into caller-owned dst: clean.
+func Grow(dst, a []uint64) []uint64 {
+	return append(dst, a...)
+}

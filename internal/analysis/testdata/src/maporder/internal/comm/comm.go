@@ -1,0 +1,12 @@
+// Package comm is the wire boundary of the maporder fixture: any call into
+// it from a map-range body is an order-sensitive sink.
+package comm
+
+// Fabric stands in for the real fetch transport.
+type Fabric struct{}
+
+// Fetch requests edge lists from a peer.
+func (Fabric) Fetch(owner int, ids []uint64) [][]uint64 { return nil }
+
+// Encode is a codec entry point.
+func Encode(ids []uint64) []byte { return nil }

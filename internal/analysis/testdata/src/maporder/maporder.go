@@ -1,0 +1,93 @@
+// Package maporder is the maporder fixture: map iteration order flowing
+// into wire traffic, channel sends, writes or unsorted collected slices must
+// be flagged; collect-then-sort and commutative accumulation are the legal
+// near misses.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"maporder/internal/comm"
+)
+
+// FetchAll issues per-owner fetches straight out of a map range: the peer
+// sees a different request order every run.
+func FetchAll(f comm.Fabric, byOwner map[int][]uint64) {
+	for owner, vs := range byOwner { // want "drives comm.Fetch: wire traffic ordering"
+		f.Fetch(owner, vs)
+	}
+}
+
+// EncodeAll drives a codec from a map range.
+func EncodeAll(lists map[int][]uint64) [][]byte {
+	out := make([][]byte, 0, len(lists))
+	for _, vs := range lists { // want "drives comm.Encode"
+		out = append(out, comm.Encode(vs))
+	}
+	return out
+}
+
+// SendKeys leaks map order through a channel.
+func SendKeys(m map[int]bool, ch chan int) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+// CollectUnsorted accumulates keys and never sorts them.
+func CollectUnsorted(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want "never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectSorted is the canonical deterministic idiom: collect, then sort.
+func CollectSorted(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WriteKeys prints straight from a map range.
+func WriteKeys(m map[int]bool, w io.Writer) {
+	for k := range m { // want "flows into fmt.Fprintf"
+		fmt.Fprintf(w, "%d\n", k)
+	}
+}
+
+// CountValues accumulates commutatively: order cannot be observed.
+func CountValues(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// CopyMap rebuilds a map from a map: insertion order is invisible.
+func CopyMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// AppendLocal appends to a slice scoped inside the loop body: each
+// iteration starts fresh, so no cross-iteration order leaks.
+func AppendLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}

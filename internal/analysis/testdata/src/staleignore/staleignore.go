@@ -1,0 +1,18 @@
+// Package staleignore exercises the stale-ignore audit: a directive still
+// excusing a live finding stays silent, one whose finding has since been
+// fixed is itself reported so escape hatches cannot rot.
+package staleignore
+
+import "time"
+
+// LiveSuppression still contains the sleep its directive excuses.
+func LiveSuppression() {
+	//khuzdulvet:ignore sleepban fixture: a used suppression is not stale
+	time.Sleep(time.Millisecond)
+}
+
+// FixedSuppression lost the sleep its directive once excused; the directive
+// is now stale and must be reported.
+func FixedSuppression() {
+	//khuzdulvet:ignore sleepban fixture: the excused sleep was removed
+}

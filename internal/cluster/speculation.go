@@ -195,6 +195,8 @@ func (s *speculator) slotDone(slot int, err error) {
 
 // run is the monitor loop: sample progress each tick, speculate when idle
 // survivors and a straggler coexist.
+//
+//khuzdulvet:longrun monitor loop; must exit promptly on stopCh
 func (s *speculator) run() {
 	defer s.wg.Done()
 	t := time.NewTicker(specTick)

@@ -1,8 +1,10 @@
 package core_test
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -260,6 +262,34 @@ func TestEngineEmitsValidEmbeddings(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestEngineCancelMidRange pins the cancelpoll fix: cancellation raised
+// after exploration of a range has begun must still stop the engine (process
+// polls Config.Canceled at batch boundaries). The old engine only checked at
+// range boundaries, so a single-range run could never be canceled.
+func TestEngineCancelMidRange(t *testing.T) {
+	g := graph.RMATDefault(120, 700, 7)
+	pl := plan.MustCompile(pattern.Clique(4), plan.Options{Style: plan.StyleGraphPi})
+	asg := partition.NewAssignment(1, 1)
+	local := partition.NewLocal(g, asg, 0)
+	fabric := comm.NewLocal([]comm.Server{comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+		panic("single node should not fetch")
+	})}, nil)
+	defer fabric.Close()
+	src := &testSource{local: local, fabric: fabric}
+	// The first poll happens at Run's range boundary and reports false; every
+	// later poll — all of them inside process — reports true. ChunkSize far
+	// above the root count keeps the whole run in one range, so only the
+	// mid-range polls can observe the cancellation.
+	var calls atomic.Int64
+	cfg := core.Config{Threads: 1, ChunkSize: 1 << 20, Canceled: func() bool {
+		return calls.Add(1) > 1
+	}}
+	eng := core.NewEngine(core.NewPlanExtender(pl, nil), src, &core.CountSink{}, cfg)
+	if err := eng.Run(); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("Run = %v, want ErrCanceled", err)
 	}
 }
 

@@ -113,9 +113,43 @@ type workerCtx struct {
 	buf     []child
 	matches uint64
 	exts    uint64
+	// getListFn is the method value of getList, created once here so that
+	// extendOne does not allocate a fresh closure per embedding.
+	getListFn func(pos int) []graph.VertexID
+	// arena is bump storage for the raw-intersection copies that vertical
+	// candidate sharing stores on child embeddings. Copies are carved out of
+	// one large block instead of one heap allocation per embedding; a full
+	// block is abandoned to the garbage collector (chunks may still reference
+	// its slices) and replaced.
+	arena []graph.VertexID
 }
 
 func (w *workerCtx) getList(pos int) []graph.VertexID { return w.lists[pos] }
+
+// arenaBlock is the worker arena's block capacity: large enough to amortize
+// refills over thousands of typical raw intersections, small enough that an
+// abandoned tail wastes little.
+const arenaBlock = 1 << 14
+
+// copyInter copies a raw intersection into the worker's arena and returns a
+// full-capacity-clipped slice of it, so later appends by the arena cannot
+// write through.
+func (w *workerCtx) copyInter(raw []graph.VertexID) []graph.VertexID {
+	if len(raw) == 0 {
+		return nil
+	}
+	if len(w.arena)+len(raw) > cap(w.arena) {
+		n := arenaBlock
+		if len(raw) > n {
+			n = len(raw)
+		}
+		//khuzdulvet:ignore hotalloc amortized block refill, not a per-embedding allocation
+		w.arena = make([]graph.VertexID, 0, n)
+	}
+	start := len(w.arena)
+	w.arena = append(w.arena, raw...)
+	return w.arena[start:len(w.arena):len(w.arena)]
+}
 
 // NewEngine assembles an engine from a client system's extender, a machine's
 // data source and an application sink.
@@ -136,24 +170,41 @@ func NewEngine(ext Extender, src DataSource, sink Sink, cfg Config) *Engine {
 	e.path = make([]*chunk, e.k)
 	e.workers = make([]*workerCtx, cfg.Threads)
 	for i := range e.workers {
-		e.workers[i] = &workerCtx{
+		w := &workerCtx{
 			scratch: ext.NewScratch(),
 			anc:     make([]int32, e.k),
 			emb:     make([]graph.VertexID, e.k),
 			lists:   make([][]graph.VertexID, e.k),
 			buf:     make([]child, 0, cfg.FlushSize),
 		}
+		w.getListFn = w.getList
+		e.workers[i] = w
 	}
 	return e
 }
 
 // ErrCanceled is returned by Run when Config.Canceled reports true at a
-// range boundary. Every range completed before the cancellation has fully
-// reached the sink.
+// range or batch boundary. Every range completed before the cancellation has
+// fully reached the sink; the range in flight may have partially counted, so
+// callers must discard everything after the last committed range (exactly
+// what the recovery trackers' (prefix, committed) checkpoints do).
 var ErrCanceled = errors.New("core: engine canceled")
+
+// checkCanceled polls Config.Canceled. process calls it at every batch
+// boundary so a canceled engine — a losing speculative copy, a shutdown —
+// releases its memory and its fetches promptly instead of exploring the rest
+// of the chunk tree.
+func (e *Engine) checkCanceled() error {
+	if e.cfg.Canceled != nil && e.cfg.Canceled() {
+		return ErrCanceled
+	}
+	return nil
+}
 
 // Run explores the embedding trees of every root this engine owns. It
 // blocks until exploration completes and returns the first fetch error.
+//
+//khuzdulvet:longrun whole-partition exploration; must observe Config.Canceled
 func (e *Engine) Run() error {
 	roots := e.src.Roots()
 	for start := 0; start < len(roots); start += e.cfg.ChunkSize {
@@ -217,6 +268,9 @@ func (e *Engine) process(ch *chunk) error {
 	final := ch.level == e.k-2
 	if final {
 		for _, b := range ch.batches {
+			if err := e.checkCanceled(); err != nil {
+				return err
+			}
 			if err := e.waitBatch(b); err != nil {
 				return err
 			}
@@ -228,6 +282,10 @@ func (e *Engine) process(ch *chunk) error {
 	for bi < len(ch.batches) {
 		next := e.getChunk(ch.level + 1)
 		for bi < len(ch.batches) && !next.full() {
+			if err := e.checkCanceled(); err != nil {
+				e.putChunk(next)
+				return err
+			}
 			b := ch.batches[bi]
 			if err := e.waitBatch(b); err != nil {
 				e.putChunk(next)
@@ -349,6 +407,8 @@ func (e *Engine) extendRound(ch *chunk, b *fetchBatch, next *chunk, final bool) 
 // extendOne performs one fine-grained task: extend a single extendable
 // embedding by one vertex (paper §3.1). Active edge lists of earlier
 // positions are resolved through the parent chain — vertical data sharing.
+//
+//khuzdulvet:hotpath per-embedding driver around Extend
 func (e *Engine) extendOne(w *workerCtx, ch *chunk, idx int32, next *chunk, final bool) {
 	level := ch.level
 	w.anc[level] = idx
@@ -361,7 +421,7 @@ func (e *Engine) extendOne(w *workerCtx, ch *chunk, idx int32, next *chunk, fina
 		w.lists[l] = c.lists[w.anc[l]]
 	}
 	w.exts++
-	cands, raw := e.ext.Extend(w.scratch, level+1, w.emb[:level+1], w.getList, ch.inter[idx])
+	cands, raw := e.ext.Extend(w.scratch, level+1, w.emb[:level+1], w.getListFn, ch.inter[idx])
 	if final {
 		if e.countOnly {
 			w.matches += uint64(len(cands))
@@ -376,7 +436,7 @@ func (e *Engine) extendOne(w *workerCtx, ch *chunk, idx int32, next *chunk, fina
 	}
 	var interCopy []graph.VertexID
 	if e.ext.StoreInter(level+1) && len(cands) > 0 {
-		interCopy = append([]graph.VertexID(nil), raw...)
+		interCopy = w.copyInter(raw)
 	}
 	for _, v := range cands {
 		w.buf = append(w.buf, child{parent: idx, vertex: v, inter: interCopy})

@@ -85,7 +85,10 @@ func (e *PlanExtender) ListPositions(level int) []int {
 	return out
 }
 
-// Extend implements Extender.
+// Extend implements Extender. It runs once per extendable embedding, so it
+// is the hottest code in the repository.
+//
+//khuzdulvet:hotpath per-embedding extension kernel
 func (e *PlanExtender) Extend(s *plan.Scratch, level int, emb []graph.VertexID, getList func(pos int) []graph.VertexID, parentRaw []graph.VertexID) (cands, raw []graph.VertexID) {
 	raw = e.Plan.RawIntersect(s, level, getList, parentRaw)
 	cands = e.Plan.Candidates(s, level, emb, raw, getList, e.LabelOf)

@@ -13,6 +13,7 @@
 package gthinker
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -258,7 +259,17 @@ func (n *node) fetchRemote(task int64, missing []graph.VertexID, lists map[graph
 		owner := n.local.Assignment().Owner(v)
 		byOwner[owner] = append(byOwner[owner], v)
 	}
-	for owner, vs := range byOwner {
+	// Fetch in ascending owner order: map iteration order would put the
+	// same misses on the wire in a different order every run, and the wire
+	// request sequence must be reproducible (the determinism recovery and
+	// speculation reconciliation rely on, and what request tracing assumes).
+	owners := make([]int, 0, len(byOwner))
+	for owner := range byOwner {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		vs := byOwner[owner]
 		tNet := time.Now()
 		fetched, err := n.fabric.Fetch(n.local.Node(), owner, vs)
 		n.met.AddNetwork(time.Since(tNet))

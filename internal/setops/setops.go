@@ -8,6 +8,8 @@
 // All functions append to dst and return the extended slice, so callers can
 // reuse buffers across calls. Inputs must be strictly ascending; outputs are
 // strictly ascending.
+//
+//khuzdulvet:hotpath every kernel here sits inside the per-embedding loop
 package setops
 
 import (
@@ -17,6 +19,11 @@ import (
 // Intersect appends a ∩ b to dst.
 // It switches to galloping search when the lists' sizes are lopsided, which
 // matters on skewed graphs where a hub list meets a short list.
+//
+// dst may alias a's or b's backing array when appended at position 0
+// (dst = Intersect(x[:0], x, y)): both the merge and the gallop path only
+// write at an index no greater than the read cursor of either input, so the
+// in-place running intersection of IntersectMany is safe.
 func Intersect(dst, a, b []graph.VertexID) []graph.VertexID {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -177,11 +184,13 @@ func IntersectMany(dst []graph.VertexID, lists [][]graph.VertexID, scratch []gra
 	case 2:
 		return Intersect(dst, lists[0], lists[1])
 	}
-	// Start from the two shortest lists to keep intermediates small.
+	// The running intersection shrinks monotonically, so it is narrowed in
+	// place: Intersect never writes past its read cursors (see its doc), and
+	// reusing scratch's backing array keeps the whole reduction allocation-free
+	// once scratch has warmed up.
 	cur := Intersect(scratch[:0], lists[0], lists[1])
 	for i := 2; i < len(lists)-1; i++ {
-		next := Intersect(nil, cur, lists[i])
-		cur = next
+		cur = Intersect(cur[:0], cur, lists[i])
 	}
 	return Intersect(dst, cur, lists[len(lists)-1])
 }

@@ -283,3 +283,40 @@ func BenchmarkIntersectGallop(b *testing.B) {
 		buf = Intersect(buf[:0], x, y)
 	}
 }
+
+// TestIntersectManyNoAlloc pins the hotalloc fix: with warm caller-owned dst
+// and scratch, the k-way running intersection must not touch the heap. The
+// old implementation allocated a fresh intermediate per inner list.
+func TestIntersectManyNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lists := make([][]graph.VertexID, 5)
+	for i := range lists {
+		lists[i] = randSorted(rng, 400, 2000)
+	}
+	dst := make([]graph.VertexID, 0, 400)
+	scratch := make([]graph.VertexID, 0, 400)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = IntersectMany(dst[:0], lists, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectMany allocated %.0f times per run with warm buffers, want 0", allocs)
+	}
+}
+
+// BenchmarkIntersectMany exercises the k-way running intersection with warm
+// caller-owned buffers: the steady state inside the per-embedding loop, where
+// any per-call allocation shows up directly in allocs/op.
+func BenchmarkIntersectMany(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lists := make([][]graph.VertexID, 5)
+	for i := range lists {
+		lists[i] = randSorted(rng, 800, 4000)
+	}
+	dst := make([]graph.VertexID, 0, 800)
+	scratch := make([]graph.VertexID, 0, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectMany(dst[:0], lists, scratch)
+	}
+}
