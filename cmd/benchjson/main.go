@@ -42,11 +42,14 @@ type Doc struct {
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
-const regenerate = "go test ./internal/setops ./internal/core -run '^$' -bench 'Extend|Intersect' -benchmem | go run ./cmd/benchjson -label <before|after> -out BENCH_hotpath.json"
+// defaultRegenerate matches the original evidence file; -regen overrides it
+// so each BENCH_*.json documents its own pipeline.
+const defaultRegenerate = "go test ./internal/setops ./internal/core -run '^$' -bench 'Extend|Intersect' -benchmem | go run ./cmd/benchjson -label <before|after> -out BENCH_hotpath.json"
 
 func main() {
 	label := flag.String("label", "", "label for the parsed entries (e.g. before, after)")
 	out := flag.String("out", "", "JSON file to merge into (stdout when empty)")
+	regen := flag.String("regen", defaultRegenerate, "regenerate command recorded in the output file")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
@@ -61,14 +64,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(2)
 	}
-	doc := Doc{Regenerate: regenerate}
+	doc := Doc{Regenerate: *regen}
 	if *out != "" {
 		if data, err := os.ReadFile(*out); err == nil {
 			if err := json.Unmarshal(data, &doc); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
 				os.Exit(2)
 			}
-			doc.Regenerate = regenerate
+			doc.Regenerate = *regen
 		}
 	}
 	doc.Benchmarks = merge(doc.Benchmarks, entries)

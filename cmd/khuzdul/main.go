@@ -40,6 +40,7 @@ func main() {
 		cacheDeg  = flag.Uint("cache-threshold", 8, "static cache degree admission threshold")
 		noHDS     = flag.Bool("no-hds", false, "disable horizontal data sharing")
 		tcp       = flag.Bool("tcp", false, "use the loopback TCP fabric")
+		inflight  = flag.Int("inflight", 0, "multiplexed requests kept in flight per TCP peer connection (0 = default 16)")
 		faultProf = flag.String("fault-profile", "", "deterministic fault injection spec, e.g. seed=7,err=0.05,corrupt=0.01,drop=0.01,partition=0|1@500,slow=2:20,crash=2@500 (empty disables)")
 		fetchTO   = flag.Duration("fetch-timeout", 0, "per-fetch-attempt timeout; enables the resilience layer (0 = default 250ms when enabled)")
 		retries   = flag.Int("retries", 0, "retry budget per fetch; enables the resilience layer (0 = default 5 when enabled)")
@@ -52,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*nodes, *sockets, *threads, *retries, *fetchTO, *faultProf); err != nil {
+	if err := validateFlags(*nodes, *sockets, *threads, *retries, *inflight, *fetchTO, *faultProf); err != nil {
 		fatal(err)
 	}
 
@@ -78,6 +79,7 @@ func main() {
 		CacheDegreeThreshold: uint32(*cacheDeg),
 		DisableHDS:           *noHDS,
 		TCP:                  *tcp,
+		InFlight:             *inflight,
 		FaultProfile:         *faultProf,
 		FetchTimeout:         *fetchTO,
 		FetchRetries:         *retries,
@@ -149,7 +151,7 @@ func main() {
 // front, before any graph loading, with errors that name the flag — the
 // alternative is a partition panic or a silently useless retry budget deep
 // inside a run.
-func validateFlags(nodes, sockets, threads, retries int, fetchTO time.Duration, faultProf string) error {
+func validateFlags(nodes, sockets, threads, retries, inflight int, fetchTO time.Duration, faultProf string) error {
 	if nodes <= 0 {
 		return fmt.Errorf("-nodes must be positive, got %d", nodes)
 	}
@@ -161,6 +163,9 @@ func validateFlags(nodes, sockets, threads, retries int, fetchTO time.Duration, 
 	}
 	if retries < 0 {
 		return fmt.Errorf("-retries must not be negative, got %d", retries)
+	}
+	if inflight < 0 {
+		return fmt.Errorf("-inflight must not be negative, got %d", inflight)
 	}
 	if fetchTO < 0 {
 		return fmt.Errorf("-fetch-timeout must not be negative, got %v", fetchTO)
@@ -203,6 +208,10 @@ func report(res khuzdul.Result, err error) {
 			res.HeartbeatMisses, res.NodesSuspected)
 		fmt.Printf("  speculation: %d ranges re-executed, %d wins\n",
 			res.SpeculativeRanges, res.SpeculationWins)
+	}
+	if res.PipelinedFetches > 0 || res.InFlightPeak > 0 {
+		fmt.Printf("transport: %d pipelined fetches, in-flight peak %d\n",
+			res.PipelinedFetches, res.InFlightPeak)
 	}
 }
 

@@ -9,14 +9,14 @@ import (
 func TestValidateFlags(t *testing.T) {
 	ok := func(nodes, sockets, threads, retries int, to time.Duration, prof string) func(*testing.T) {
 		return func(t *testing.T) {
-			if err := validateFlags(nodes, sockets, threads, retries, to, prof); err != nil {
+			if err := validateFlags(nodes, sockets, threads, retries, 0, to, prof); err != nil {
 				t.Fatalf("validateFlags: unexpected error %v", err)
 			}
 		}
 	}
 	bad := func(nodes, sockets, threads, retries int, to time.Duration, prof, want string) func(*testing.T) {
 		return func(t *testing.T) {
-			err := validateFlags(nodes, sockets, threads, retries, to, prof)
+			err := validateFlags(nodes, sockets, threads, retries, 0, to, prof)
 			if err == nil {
 				t.Fatal("validateFlags: expected error, got nil")
 			}
@@ -35,6 +35,12 @@ func TestValidateFlags(t *testing.T) {
 	t.Run("zero threads", bad(8, 1, 0, 0, 0, "", "-threads"))
 	t.Run("negative threads", bad(8, 1, -1, 0, 0, "", "-threads"))
 	t.Run("negative retries", bad(8, 1, 2, -1, 0, "", "-retries"))
+	t.Run("negative inflight", func(t *testing.T) {
+		err := validateFlags(8, 1, 2, 0, -1, 0, "")
+		if err == nil || !strings.Contains(err.Error(), "-inflight") {
+			t.Fatalf("validateFlags: error %v does not mention -inflight", err)
+		}
+	})
 	t.Run("negative timeout", bad(8, 1, 2, 0, -time.Second, "", "-fetch-timeout"))
 	t.Run("malformed profile", bad(8, 1, 2, 0, 0, "err=lots", "-fault-profile"))
 	t.Run("unknown profile key", bad(8, 1, 2, 0, 0, "frobnicate=1", "-fault-profile"))

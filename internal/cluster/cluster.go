@@ -61,6 +61,14 @@ type Config struct {
 	CacheDegreeThreshold uint32
 	// Transport selects the fabric.
 	Transport Transport
+	// InFlight bounds how many multiplexed requests the TCP fabric keeps
+	// outstanding per connection (0 = the fabric default). Ignored by the
+	// chan transport.
+	InFlight int
+	// SerialWire pins the TCP fabric's handshake window to the serial
+	// protocol generation (≤ v2), disabling request multiplexing — the
+	// transport ablation's baseline arm.
+	SerialWire bool
 	// MiniBatch and FlushSize pass through to the engine.
 	MiniBatch int
 	FlushSize int
@@ -238,6 +246,12 @@ func (c *Cluster) buildFabric(servers []comm.Server) (comm.Fabric, error) {
 			// Bound every socket operation by the fetch deadline so a hung
 			// peer releases the connection promptly.
 			t.SetIOTimeout(c.cfg.FetchTimeout)
+		}
+		if c.cfg.InFlight > 0 {
+			t.SetInFlight(c.cfg.InFlight)
+		}
+		if c.cfg.SerialWire {
+			t.SetVersionWindow(comm.ProtoVersionMin, comm.ProtoVersionSerialMax)
 		}
 		fabric = t
 	default:
@@ -537,6 +551,7 @@ func (c *Cluster) CountAll(pls []*plan.Plan) ([]Result, Result, error) {
 		combined.Summary.CacheHits += r.Summary.CacheHits
 		combined.Summary.CacheMisses += r.Summary.CacheMisses
 		combined.Summary.HDSHits += r.Summary.HDSHits
+		combined.Summary.VerticalHits += r.Summary.VerticalHits
 		combined.Summary.Extensions += r.Summary.Extensions
 		combined.Summary.Matches += r.Summary.Matches
 		combined.Summary.FetchRetries += r.Summary.FetchRetries
@@ -550,6 +565,10 @@ func (c *Cluster) CountAll(pls []*plan.Plan) ([]Result, Result, error) {
 		combined.Summary.NodesSuspected += r.Summary.NodesSuspected
 		combined.Summary.SpeculativeRanges += r.Summary.SpeculativeRanges
 		combined.Summary.SpeculationWins += r.Summary.SpeculationWins
+		combined.Summary.PipelinedFetches += r.Summary.PipelinedFetches
+		if r.Summary.InFlightPeak > combined.Summary.InFlightPeak {
+			combined.Summary.InFlightPeak = r.Summary.InFlightPeak
+		}
 		combined.RecoveryRounds += r.RecoveryRounds
 		combined.DeadNodes = unionNodes(combined.DeadNodes, r.DeadNodes)
 	}

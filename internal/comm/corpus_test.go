@@ -41,7 +41,7 @@ func corpusSeeds() map[string]map[string][]byte {
 	badVersion := frame(1, framePing, nil)
 	badVersion[2] = 0x63 // outside the supported window
 	badType := frame(1, framePing, nil)
-	badType[3] = 0x7F // type above frameError
+	badType[3] = 0x7F // type above frameTypeMax
 	hugePayload := frame(1, framePing, nil)
 	binary.LittleEndian.PutUint32(hugePayload[4:], maxFramePayload+1)
 	badMagic := frame(1, framePing, nil)
@@ -50,6 +50,13 @@ func corpusSeeds() map[string]map[string][]byte {
 	idsTruncated := append([]byte(nil), ids[:len(ids)-3]...)
 	idsLyingCount := binary.LittleEndian.AppendUint32(nil, maxFrameEntries+1)
 	idsTrailing := append(encodeIDs(nil, []graph.VertexID{7}), 0xEE)
+
+	// v3 multiplexed frames: request-ID-prefixed payloads, plus the hostile
+	// shapes around the prefix (missing ID, frame truncated mid-payload).
+	muxRequest := frame(ProtoVersionMux, frameMuxRequest, encodeMuxIDs(nil, 42, []graph.VertexID{1, 2, 3}))
+	muxResponse := frame(ProtoVersionMux, frameMuxResponse, encodeMuxLists(nil, 42, [][]graph.VertexID{{1, 2}, {}, {3, 4, 5}}))
+	muxError := frame(ProtoVersionMux, frameMuxError, binary.LittleEndian.AppendUint32(nil, 42))
+	muxMissingID := frame(ProtoVersionMux, frameMuxRequest, []byte{0x2A})
 
 	listsTruncated := append([]byte(nil), lists[:len(lists)-2]...)
 	listsLyingLen := binary.LittleEndian.AppendUint32(
@@ -69,6 +76,11 @@ func corpusSeeds() map[string]map[string][]byte {
 			"unknown-frame-type": badType,
 			"huge-payload-claim": hugePayload,
 			"bad-magic":          badMagic,
+			"valid-mux-request":  muxRequest,
+			"valid-mux-response": muxResponse,
+			"valid-mux-error":    muxError,
+			"mux-missing-reqid":  muxMissingID,
+			"mux-truncated":      muxRequest[:frameHeaderSize+5],
 		},
 		"FuzzReadIDs": {
 			"valid-empty":    encodeIDs(nil, nil),
@@ -84,6 +96,9 @@ func corpusSeeds() map[string]map[string][]byte {
 			"lying-list-len":  listsLyingLen,
 			"trailing-bytes":  listsTrailing,
 			"nested-overflow": binary.LittleEndian.AppendUint32(nil, maxFrameEntries+1),
+			// A mux payload handed to the inner decoder without stripping the
+			// request ID must be rejected, not mis-parsed as a count.
+			"mux-prefixed": encodeMuxLists(nil, 42, [][]graph.VertexID{{1, 2}}),
 		},
 	}
 }

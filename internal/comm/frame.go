@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"khuzdul/internal/graph"
 )
@@ -31,6 +32,14 @@ import (
 // length or CRC failure surfaces as ErrCorruptFrame — a retryable error —
 // instead of silently mis-parsed edge lists.
 //
+// Protocol generations. Versions 1 and 2 speak the serial exchange: one
+// request/response pair at a time per connection, responses in request
+// order. Version 3 multiplexes: MUX_REQUEST/MUX_RESPONSE/MUX_ERROR frames
+// prefix their payload with a u32 request ID, so many exchanges can be in
+// flight on one connection and responses may return out of order. The
+// handshake keeps mixed clusters honest — a peer capped at the serial
+// generation negotiates ≤2 and both sides fall back to the serial exchange.
+//
 // The frame header is genuine wire overhead, but traffic accounting keeps
 // quoting the paper's payload formulas (RequestBytes/ResponseBytes) so
 // experiment numbers stay comparable across fabrics.
@@ -47,10 +56,14 @@ const (
 	frameMagic = 0x4B48 // "KH"
 
 	// ProtoVersionMin..ProtoVersionMax is the version window this build
-	// speaks. A single version exists today; the handshake keeps old and new
-	// builds interoperable when the format evolves.
-	ProtoVersionMin = 1
-	ProtoVersionMax = 1
+	// speaks. Versions up to ProtoVersionSerialMax use the serial exchange;
+	// ProtoVersionMux adds request multiplexing. The handshake keeps old and
+	// new builds interoperable: the negotiated version selects the exchange
+	// discipline on both sides of the connection.
+	ProtoVersionMin       = 1
+	ProtoVersionSerialMax = 2
+	ProtoVersionMux       = 3
+	ProtoVersionMax       = ProtoVersionMux
 
 	frameHeaderSize = 12
 
@@ -68,7 +81,15 @@ const (
 	frameResponse = 0x04 // edge-list response: u32 count + per list (u32 len + vertices)
 	framePing     = 0x05 // heartbeat probe (empty payload)
 	framePong     = 0x06 // heartbeat reply (empty payload)
-	frameError    = 0x07 // server-side rejection (e.g. corrupt request); empty payload
+	frameError    = 0x07 // connection-level rejection (e.g. corrupt request); empty payload
+
+	// v3 multiplexed exchange: payloads carry a u32 request ID prefix so the
+	// CRC covers it, followed by the canonical request/response payload.
+	frameMuxRequest  = 0x08 // edge-list request: u32 request ID + IDs payload
+	frameMuxResponse = 0x09 // edge-list response: u32 request ID + lists payload
+	frameMuxError    = 0x0A // per-request rejection: u32 request ID (CRC-valid but malformed request)
+
+	frameTypeMax = frameMuxError
 )
 
 // castagnoli is the CRC32C table (iSCSI polynomial, hardware-accelerated on
@@ -104,6 +125,18 @@ func writeFrame(w *bufio.Writer, version, typ uint8, payload []byte, corruptByte
 // negotiation); otherwise the header must carry exactly wantVersion. The
 // returned payload aliases a fresh buffer.
 func readFrame(r *bufio.Reader, wantVersion uint8) (typ uint8, payload []byte, err error) {
+	return readFrameAlloc(r, wantVersion, freshPayload)
+}
+
+// readFramePooled is readFrame with the payload drawn from payloadPool. The
+// caller owns the buffer and returns it with putPayloadBuf once decoded.
+func readFramePooled(r *bufio.Reader, wantVersion uint8) (typ uint8, payload []byte, err error) {
+	return readFrameAlloc(r, wantVersion, getPayloadBuf)
+}
+
+func freshPayload(n int) []byte { return make([]byte, n) }
+
+func readFrameAlloc(r *bufio.Reader, wantVersion uint8, alloc func(int) []byte) (typ uint8, payload []byte, err error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -120,7 +153,7 @@ func readFrame(r *bufio.Reader, wantVersion uint8) (typ uint8, payload []byte, e
 		return 0, nil, fmt.Errorf("version %d on a v%d connection: %w", v, wantVersion, ErrCorruptFrame)
 	}
 	typ = hdr[3]
-	if typ < frameHello || typ > frameError {
+	if typ < frameHello || typ > frameTypeMax {
 		return 0, nil, fmt.Errorf("unknown frame type %#02x: %w", typ, ErrCorruptFrame)
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
@@ -128,7 +161,7 @@ func readFrame(r *bufio.Reader, wantVersion uint8) (typ uint8, payload []byte, e
 		return 0, nil, fmt.Errorf("frame announces %d payload bytes (max %d): %w", n, maxFramePayload, ErrCorruptFrame)
 	}
 	want := binary.LittleEndian.Uint32(hdr[8:])
-	payload = make([]byte, n)
+	payload = alloc(int(n))
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return 0, nil, fmt.Errorf("truncated frame (want %d payload bytes): %w", n, io.ErrUnexpectedEOF)
@@ -221,7 +254,10 @@ func encodeLists(buf []byte, lists [][]graph.VertexID) []byte {
 	return buf
 }
 
-// decodeLists parses a response payload.
+// decodeLists parses a response payload. All vertices land in one backing
+// slab sub-sliced per list, so decoding costs two allocations regardless of
+// how many lists the response carries. The sub-slices are capacity-clipped:
+// appending to one list can never scribble over its neighbour.
 func decodeLists(p []byte) ([][]graph.VertexID, error) {
 	if len(p) < 4 {
 		return nil, fmt.Errorf("comm: response payload %d bytes: %w", len(p), ErrCorruptFrame)
@@ -230,31 +266,99 @@ func decodeLists(p []byte) ([][]graph.VertexID, error) {
 	if n > maxFrameEntries {
 		return nil, fmt.Errorf("comm: response announces %d lists (max %d): %w", n, maxFrameEntries, ErrCorruptFrame)
 	}
-	p = p[4:]
-	lists := make([][]graph.VertexID, n)
-	for i := range lists {
-		if len(p) < 4 {
+	// First pass: validate the framing and size the slab. The total vertex
+	// count is bounded by the payload length, so a hostile header cannot
+	// inflate the allocation past the bytes actually received.
+	body := p[4:]
+	var total uint64
+	for i := uint32(0); i < n; i++ {
+		if len(body) < 4 {
 			return nil, fmt.Errorf("comm: response truncated at list %d/%d header: %w", i, n, ErrCorruptFrame)
 		}
-		ln := binary.LittleEndian.Uint32(p)
-		p = p[4:]
+		ln := binary.LittleEndian.Uint32(body)
+		body = body[4:]
 		if ln > maxFrameEntries {
 			return nil, fmt.Errorf("comm: response announces %d-vertex list (max %d): %w", ln, maxFrameEntries, ErrCorruptFrame)
 		}
-		if uint64(len(p)) < 4*uint64(ln) {
+		if uint64(len(body)) < 4*uint64(ln) {
 			return nil, fmt.Errorf("comm: response truncated in list %d/%d (want %d vertices): %w", i, n, ln, ErrCorruptFrame)
 		}
-		l := make([]graph.VertexID, ln)
+		body = body[4*ln:]
+		total += uint64(ln)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("comm: %d trailing bytes after response lists: %w", len(body), ErrCorruptFrame)
+	}
+	// Second pass: fill the slab.
+	lists := make([][]graph.VertexID, n)
+	slab := make([]graph.VertexID, total)
+	body = p[4:]
+	var off uint64
+	for i := range lists {
+		ln := uint64(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		l := slab[off : off+ln : off+ln]
 		for j := range l {
-			l[j] = graph.VertexID(binary.LittleEndian.Uint32(p[4*j:]))
+			l[j] = graph.VertexID(binary.LittleEndian.Uint32(body[4*uint64(j):]))
 		}
-		p = p[4*ln:]
+		body = body[4*ln:]
+		off += ln
 		lists[i] = l
 	}
-	if len(p) != 0 {
-		return nil, fmt.Errorf("comm: %d trailing bytes after response lists: %w", len(p), ErrCorruptFrame)
-	}
 	return lists, nil
+}
+
+// Multiplexed (v3) payload helpers. The request ID rides inside the payload
+// rather than the header so the CRC covers it and the frame layout stays
+// identical across protocol versions.
+
+// encodeMuxIDs appends the v3 request payload: request ID + IDs payload.
+func encodeMuxIDs(buf []byte, id uint32, ids []graph.VertexID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	return encodeIDs(buf, ids)
+}
+
+// encodeMuxLists appends the v3 response payload: request ID + lists payload.
+func encodeMuxLists(buf []byte, id uint32, lists [][]graph.VertexID) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	return encodeLists(buf, lists)
+}
+
+// muxID splits a v3 payload into its request ID and the inner payload.
+func muxID(p []byte) (id uint32, rest []byte, err error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("comm: mux payload %d bytes, want request ID: %w", len(p), ErrCorruptFrame)
+	}
+	return binary.LittleEndian.Uint32(p), p[4:], nil
+}
+
+// payloadPool recycles payload buffers — request encodes, pooled frame
+// reads, response encodes — across exchanges, so the steady-state wire path
+// performs no per-exchange buffer allocations.
+var payloadPool sync.Pool
+
+// maxPooledPayload caps what the pool retains: a hub-vertex response can run
+// to hundreds of megabytes, and parking such a buffer in the pool would pin
+// its high-water mark indefinitely.
+const maxPooledPayload = 1 << 20
+
+// getPayloadBuf returns a length-n buffer, reusing a pooled one when its
+// capacity suffices. getPayloadBuf(0) seeds an encode buffer for append.
+func getPayloadBuf(n int) []byte {
+	if p, ok := payloadPool.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+// putPayloadBuf returns a buffer to the pool. Oversized buffers are dropped
+// so one huge response does not pin memory for the fabric's lifetime.
+func putPayloadBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledPayload {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
 }
 
 // WireFaults is the hook surface the fault injector uses to perturb the TCP
@@ -262,7 +366,8 @@ func decodeLists(p []byte) ([][]graph.VertexID, error) {
 // is computed (so the receiver's integrity check must catch it), and
 // DropAfterSend severs the connection between sending a request and reading
 // its response (a mid-exchange connection drop). Both are consulted once per
-// exchange with the client's (from, to) pair.
+// request with the client's (from, to) pair — on the multiplexed path each
+// in-flight request rolls its own faults, not the connection.
 type WireFaults interface {
 	CorruptFrame(from, to int) bool
 	DropAfterSend(from, to int) bool

@@ -73,7 +73,7 @@ func TestFrameHeaderValidation(t *testing.T) {
 		{"zero version", func(b []byte) { b[2] = 0 }},
 		{"future version", func(b []byte) { b[2] = ProtoVersionMax + 1 }},
 		{"zero type", func(b []byte) { b[3] = 0 }},
-		{"unknown type", func(b []byte) { b[3] = frameError + 1 }},
+		{"unknown type", func(b []byte) { b[3] = frameTypeMax + 1 }},
 		{"oversized length", func(b []byte) { binary.LittleEndian.PutUint32(b[4:], maxFramePayload+1) }},
 		{"bad crc", func(b []byte) { b[8] ^= 0xFF }},
 	}

@@ -67,6 +67,10 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(valid(framePing, nil))
 	f.Add(valid(frameRequest, encodeIDs(nil, []graph.VertexID{1, 2, 3})))
 	f.Add(valid(frameHello, encodeHello(ProtoVersionMin, ProtoVersionMax, 0)))
+	f.Add(valid(frameMuxRequest, encodeMuxIDs(nil, 42, []graph.VertexID{1, 2, 3})))
+	f.Add(valid(frameMuxResponse, encodeMuxLists(nil, 42, [][]graph.VertexID{{1, 2}, {}})))
+	f.Add(valid(frameMuxError, binary.LittleEndian.AppendUint32(nil, 42)))
+	f.Add(valid(frameMuxRequest, []byte{0x2A})) // truncated: shorter than a request ID
 	huge := valid(framePing, nil)
 	binary.LittleEndian.PutUint32(huge[4:], maxFramePayload+1)
 	f.Add(huge)
@@ -80,7 +84,7 @@ func FuzzReadFrame(f *testing.F) {
 			}
 			return
 		}
-		if typ < frameHello || typ > frameError {
+		if typ < frameHello || typ > frameTypeMax {
 			t.Fatalf("readFrame accepted unknown frame type %#02x", typ)
 		}
 		// An accepted frame must re-serialize to a prefix of the input.

@@ -1,0 +1,342 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/leakcheck"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/partition"
+)
+
+// runOverlap fires two concurrent fetches at a peer whose server reports, per
+// request, whether the other request was in flight at the same time. The wait
+// bounds how long the first request holds out for the second before giving up,
+// so the serial case terminates instead of deadlocking.
+func runOverlap(t *testing.T, serial bool, wait time.Duration) []bool {
+	t.Helper()
+	var (
+		mu      sync.Mutex
+		arrived int
+		both    = make(chan struct{})
+		results = make(chan bool, 2)
+	)
+	srv := ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+		mu.Lock()
+		arrived++
+		if arrived == 2 {
+			close(both)
+		}
+		mu.Unlock()
+		select {
+		case <-both:
+			results <- true
+		case <-time.After(wait):
+			results <- false
+		}
+		out := make([][]graph.VertexID, len(ids))
+		for i, id := range ids {
+			out[i] = []graph.VertexID{id}
+		}
+		return out
+	})
+	f, err := NewTCP([]Server{srv, srv}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if serial {
+		f.SetVersionWindow(ProtoVersionMin, ProtoVersionSerialMax)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(v graph.VertexID) {
+			defer wg.Done()
+			lists, err := f.Fetch(0, 1, []graph.VertexID{v})
+			if err != nil {
+				t.Errorf("Fetch(%d): %v", v, err)
+				return
+			}
+			if len(lists) != 1 || len(lists[0]) != 1 || lists[0][0] != v {
+				t.Errorf("Fetch(%d): wrong echo %v", v, lists)
+			}
+		}(graph.VertexID(i))
+	}
+	wg.Wait()
+	got := []bool{<-results, <-results}
+	return got
+}
+
+// TestMuxFetchesOverlap proves the tentpole property: two fetches to the same
+// peer are in flight on one connection simultaneously. Against the serial
+// exchange this rendezvous can never happen (see the companion test below),
+// so the first request would wait out its full timeout.
+func TestMuxFetchesOverlap(t *testing.T) {
+	leakcheck.Check(t)
+	for i, overlapped := range runOverlap(t, false, 5*time.Second) {
+		if !overlapped {
+			t.Errorf("request %d never saw the other request in flight; fetches did not overlap", i)
+		}
+	}
+}
+
+// TestSerialFetchesDoNotOverlap pins the contrast: on a serial connection the
+// second request cannot even be written until the first exchange completes, so
+// the first request's rendezvous must time out. If this starts failing, the
+// overlap test above has lost its teeth.
+func TestSerialFetchesDoNotOverlap(t *testing.T) {
+	leakcheck.Check(t)
+	got := runOverlap(t, true, 200*time.Millisecond)
+	if got[0] && got[1] {
+		t.Fatal("serial fabric overlapped two fetches; head-of-line blocking assumption broken")
+	}
+}
+
+// TestMuxSerialInterop proves the v2<->v3 handshake story: a fabric whose
+// window stops at the serial generation still completes every fetch against a
+// mux-capable peer (and vice versa), and the negotiated-down connection never
+// takes the pipelined path.
+func TestMuxSerialInterop(t *testing.T) {
+	leakcheck.Check(t)
+	g := graph.RMATDefault(200, 800, 5)
+	asg := partition.NewAssignment(2, 1)
+	cases := []struct {
+		name                       string
+		clientSerial, serverSerial bool
+	}{
+		{"v2 client, v3 server", true, false},
+		{"v3 client, v2 server", false, true},
+		{"v3 both ends", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := metrics.NewCluster(2)
+			client, err := NewTCP(testServers(g, asg), m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			server, err := NewTCP(testServers(g, asg), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer server.Close()
+			if tc.clientSerial {
+				client.SetVersionWindow(ProtoVersionMin, ProtoVersionSerialMax)
+			}
+			if tc.serverSerial {
+				server.SetVersionWindow(ProtoVersionMin, ProtoVersionSerialMax)
+			}
+			// Point the client's dials at the other fabric's listeners so the
+			// two version windows actually meet on the wire.
+			client.addrs = server.addrs
+			fetchAll(t, client, g, asg)
+			s := m.Summarize()
+			if tc.clientSerial || tc.serverSerial {
+				if s.PipelinedFetches != 0 {
+					t.Errorf("negotiated-down connection still pipelined %d fetches", s.PipelinedFetches)
+				}
+			} else if s.PipelinedFetches != uint64(g.NumVertices()) {
+				t.Errorf("pipelined %d fetches, want %d", s.PipelinedFetches, g.NumVertices())
+			}
+		})
+	}
+}
+
+// TestMuxInFlightWindowBound proves the window is a real bound: with
+// SetInFlight(2), sixteen concurrent fetchers never put more than two requests
+// on the server at once, and the in-flight peak gauge agrees.
+func TestMuxInFlightWindowBound(t *testing.T) {
+	leakcheck.Check(t)
+	const window = 2
+	var cur, peak atomic.Int64
+	srv := ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond) // hold the slot so overlap is observable
+		cur.Add(-1)
+		return make([][]graph.VertexID, len(ids))
+	})
+	m := metrics.NewCluster(2)
+	f, err := NewTCP([]Server{srv, srv}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.SetInFlight(window)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(v graph.VertexID) {
+			defer wg.Done()
+			if _, err := f.Fetch(0, 1, []graph.VertexID{v}); err != nil {
+				t.Errorf("Fetch(%d): %v", v, err)
+			}
+		}(graph.VertexID(i))
+	}
+	wg.Wait()
+	if got := peak.Load(); got > window {
+		t.Errorf("server saw %d concurrent requests, window is %d", got, window)
+	}
+	s := m.Summarize()
+	if s.PipelinedFetches != 16 {
+		t.Errorf("pipelined %d fetches, want 16", s.PipelinedFetches)
+	}
+	if s.InFlightPeak == 0 || s.InFlightPeak > window {
+		t.Errorf("in-flight peak %d, want in [1,%d]", s.InFlightPeak, window)
+	}
+}
+
+// TestMuxPerRequestError speaks raw v3 on a socket: a CRC-valid frame whose
+// inner request is malformed draws a MUX_ERROR naming that request, and the
+// same connection then serves a valid request — per-request failure does not
+// poison the stream.
+func TestMuxPerRequestError(t *testing.T) {
+	leakcheck.Check(t)
+	g := graph.Path(8)
+	asg := partition.NewAssignment(2, 1)
+	f, err := NewTCP(testServers(g, asg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	c, err := net.Dial("tcp", f.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, w := bufio.NewReader(c), bufio.NewWriter(c)
+	if err := writeFrame(w, ProtoVersionMin, frameHello, encodeHello(ProtoVersionMin, ProtoVersionMax, 0), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(r, 0)
+	if err != nil || typ != frameHelloAck || len(payload) != 1 {
+		t.Fatalf("hello ack: type %#02x payload %v err %v", typ, payload, err)
+	}
+	if payload[0] != ProtoVersionMux {
+		t.Fatalf("negotiated version %d, want %d", payload[0], ProtoVersionMux)
+	}
+
+	// Request 7: CRC-intact, but the inner batch announces 100 ids and
+	// carries none. The request ID is trustworthy, so the rejection must be
+	// per-request.
+	bad := binary.LittleEndian.AppendUint32(nil, 7)
+	bad = binary.LittleEndian.AppendUint32(bad, 100)
+	if err := writeFrame(w, ProtoVersionMux, frameMuxRequest, bad, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = readFrame(r, ProtoVersionMux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameMuxError {
+		t.Fatalf("malformed request drew frame type %#02x, want MUX_ERROR", typ)
+	}
+	id, _, err := muxID(payload)
+	if err != nil || id != 7 {
+		t.Fatalf("MUX_ERROR names request %d (err %v), want 7", id, err)
+	}
+
+	// The stream survives: request 8 on the same connection succeeds.
+	var v graph.VertexID
+	for u := 0; u < g.NumVertices(); u++ {
+		if asg.Owner(graph.VertexID(u)) == 1 {
+			v = graph.VertexID(u)
+			break
+		}
+	}
+	good := encodeMuxIDs(nil, 8, []graph.VertexID{v})
+	if err := writeFrame(w, ProtoVersionMux, frameMuxRequest, good, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = readFrame(r, ProtoVersionMux)
+	if err != nil || typ != frameMuxResponse {
+		t.Fatalf("valid request after rejection: type %#02x err %v, want MUX_RESPONSE", typ, err)
+	}
+	id, inner, err := muxID(payload)
+	if err != nil || id != 8 {
+		t.Fatalf("response names request %d (err %v), want 8", id, err)
+	}
+	lists, err := decodeLists(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) != 1 || len(lists[0]) != int(g.Degree(v)) {
+		t.Fatalf("response carries %d lists (first %d long), want the degree-%d list of %d",
+			len(lists), len(lists[0]), g.Degree(v), v)
+	}
+}
+
+// TestDecodeListsAllocs pins the slab decode: one response costs the header
+// slice plus one backing slab, independent of how many lists it carries.
+func TestDecodeListsAllocs(t *testing.T) {
+	lists := make([][]graph.VertexID, 256)
+	for i := range lists {
+		l := make([]graph.VertexID, 16)
+		for j := range l {
+			l[j] = graph.VertexID(i*16 + j)
+		}
+		lists[i] = l
+	}
+	payload := encodeLists(nil, lists)
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := decodeLists(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(lists) {
+			t.Fatalf("decoded %d lists, want %d", len(out), len(lists))
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("decodeLists allocated %.0f times per call, want at most 2 (headers + slab)", allocs)
+	}
+}
+
+// TestMuxFetchAfterClose pins the shutdown path: once the fabric is closed, a
+// mux fetch fails fast instead of parking on a dead window.
+func TestMuxFetchAfterClose(t *testing.T) {
+	g := graph.Path(4)
+	asg := partition.NewAssignment(2, 1)
+	f, err := NewTCP(testServers(g, asg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v graph.VertexID
+	for u := 0; u < g.NumVertices(); u++ {
+		if asg.Owner(graph.VertexID(u)) == 1 {
+			v = graph.VertexID(u)
+			break
+		}
+	}
+	if _, err := f.Fetch(0, 1, []graph.VertexID{v}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Fetch(0, 1, []graph.VertexID{v}); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("fetch after close: %v, want net.ErrClosed", err)
+	}
+}

@@ -18,6 +18,17 @@ import (
 // overrides it; 0 disables deadlines entirely.
 const DefaultIOTimeout = 30 * time.Second
 
+// DefaultInFlight bounds how many multiplexed requests may be outstanding
+// per connection on the v3 wire path. SetInFlight overrides it. The window
+// also sizes the server's response queue, so it doubles as the transport's
+// memory bound per connection.
+const DefaultInFlight = 16
+
+// serverBufRetain caps the response encode buffer a serial server loop
+// keeps between requests: one hub-vertex reply must not pin its high-water
+// mark for the connection's lifetime.
+const serverBufRetain = 1 << 20
+
 // maxFrameEntries bounds the u32 count prefixes of the wire format. A
 // corrupt or truncated frame can announce up to 2^32-1 entries; accepting
 // that would attempt a multi-gigabyte allocation before the stream even
@@ -38,6 +49,7 @@ type TCP struct {
 	listeners []net.Listener
 	addrs     []string
 	ioTimeout atomic.Int64 // nanoseconds; read by server goroutines
+	inflight  atomic.Int64 // per-connection mux window (v3 connections only)
 
 	// minVer/maxVer is the version window this fabric offers in handshakes
 	// (defaults to the build's window; narrowed only by tests).
@@ -50,6 +62,13 @@ type TCP struct {
 	mu     sync.Mutex
 	conns  map[connKey]*tcpConn
 	dialed map[connKey]bool // pairs dialed at least once, for Redials
+
+	// accepted tracks inbound connections so Close can sever them. It has its
+	// own lock: registration must not contend with t.mu, which a dialing
+	// client holds across its handshake — on a loopback fabric that client
+	// may be waiting for the very responder trying to register.
+	amu      sync.Mutex
+	accepted map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -64,26 +83,32 @@ type connKey struct {
 }
 
 type tcpConn struct {
-	mu      sync.Mutex // serializes request/response pairs on this connection
+	mu      sync.Mutex // serializes serial exchanges (v1/v2 fetches, pings)
 	c       net.Conn
 	r       *bufio.Reader
 	w       *bufio.Writer
 	version uint8  // negotiated protocol version
-	buf     []byte // reusable payload encode buffer
+	buf     []byte // reusable payload encode buffer (serial exchanges)
+
+	// mux carries the request-multiplexing state when the connection
+	// negotiated ProtoVersionMux; nil on serial and ping connections.
+	mux *muxState
 }
 
 // NewTCP starts one loopback listener per node and returns the fabric.
 func NewTCP(servers []Server, m *metrics.Cluster) (*TCP, error) {
 	t := &TCP{
-		servers: servers,
-		m:       m,
-		conns:   map[connKey]*tcpConn{},
-		dialed:  map[connKey]bool{},
-		closed:  make(chan struct{}),
-		minVer:  ProtoVersionMin,
-		maxVer:  ProtoVersionMax,
+		servers:  servers,
+		m:        m,
+		conns:    map[connKey]*tcpConn{},
+		dialed:   map[connKey]bool{},
+		accepted: map[net.Conn]struct{}{},
+		closed:   make(chan struct{}),
+		minVer:   ProtoVersionMin,
+		maxVer:   ProtoVersionMax,
 	}
 	t.ioTimeout.Store(int64(DefaultIOTimeout))
+	t.inflight.Store(DefaultInFlight)
 	for node := range servers {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -118,6 +143,22 @@ func (t *TCP) SetIOTimeout(d time.Duration) { t.ioTimeout.Store(int64(d)) }
 // before sharing the fabric across goroutines.
 func (t *TCP) SetWireFaults(wf WireFaults) { t.wireFaults = wf }
 
+// SetInFlight bounds how many multiplexed requests may be outstanding per
+// connection (default DefaultInFlight). The window is snapshotted when a
+// connection is dialed, so set it before traffic starts.
+func (t *TCP) SetInFlight(n int) {
+	if n > 0 {
+		t.inflight.Store(int64(n))
+	}
+}
+
+// SetVersionWindow narrows the protocol window this fabric offers in
+// handshakes — e.g. capping at ProtoVersionSerialMax pins the serial
+// exchange (ablations, interop tests). Call before sharing the fabric.
+func (t *TCP) SetVersionWindow(lo, hi uint8) {
+	t.minVer, t.maxVer = lo, hi
+}
+
 // deadline arms a read or write deadline on c, or clears it when the
 // fabric's IO timeout is disabled.
 func (t *TCP) deadline(set func(time.Time) error) {
@@ -128,11 +169,30 @@ func (t *TCP) deadline(set func(time.Time) error) {
 	}
 }
 
-// serveConn performs the server half of the handshake, then answers framed
-// requests and pings on one inbound connection.
+// serveConn performs the server half of the handshake, then hands the
+// connection to the exchange discipline the negotiated version selects:
+// serial request/response pairs up to ProtoVersionSerialMax, concurrent
+// multiplexed exchanges from ProtoVersionMux on.
 func (t *TCP) serveConn(node int, c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
+	// Register the inbound connection so Close can sever it: a responder
+	// parks in deadline-free reads between requests, and only the peer — or
+	// Close — closing the socket releases it.
+	t.amu.Lock()
+	select {
+	case <-t.closed:
+		t.amu.Unlock()
+		return
+	default:
+	}
+	t.accepted[c] = struct{}{}
+	t.amu.Unlock()
+	defer func() {
+		t.amu.Lock()
+		delete(t.accepted, c)
+		t.amu.Unlock()
+	}()
 	r := bufio.NewReader(c)
 	w := bufio.NewWriter(c)
 
@@ -159,14 +219,23 @@ func (t *TCP) serveConn(node int, c net.Conn) {
 	if err := w.Flush(); err != nil {
 		return
 	}
+	if version >= ProtoVersionMux {
+		t.serveMux(node, c, r, w, version)
+		return
+	}
+	t.serveSerial(node, c, r, w, version)
+}
 
+// serveSerial answers framed requests and pings one at a time — the v1/v2
+// exchange discipline.
+func (t *TCP) serveSerial(node int, c net.Conn, r *bufio.Reader, w *bufio.Writer, version uint8) {
 	var buf []byte
 	for {
 		// No read deadline here: a client connection legitimately idles
 		// between requests. Writes are bounded so a stalled client cannot
 		// pin the responder goroutine.
 		c.SetReadDeadline(time.Time{})
-		typ, payload, err := readFrame(r, version)
+		typ, payload, err := readFramePooled(r, version)
 		if err != nil {
 			if isCorrupt(err) {
 				// Integrity check caught a damaged request: account it,
@@ -183,12 +252,14 @@ func (t *TCP) serveConn(node int, c net.Conn) {
 		}
 		switch typ {
 		case framePing:
+			putPayloadBuf(payload)
 			t.deadline(c.SetWriteDeadline)
 			if writeFrame(w, version, framePong, nil, -1) != nil || w.Flush() != nil {
 				return
 			}
 		case frameRequest:
 			ids, err := decodeIDs(payload)
+			putPayloadBuf(payload)
 			if err != nil {
 				if t.m != nil {
 					t.m.Nodes[node].CorruptFrames.Add(1)
@@ -201,10 +272,17 @@ func (t *TCP) serveConn(node int, c net.Conn) {
 			lists := t.servers[node].ServeEdgeLists(ids)
 			buf = encodeLists(buf[:0], lists)
 			t.deadline(c.SetWriteDeadline)
-			if writeFrame(w, version, frameResponse, buf, -1) != nil || w.Flush() != nil {
+			err = writeFrame(w, version, frameResponse, buf, -1)
+			if cap(buf) > serverBufRetain {
+				// One oversized reply (a hub vertex) must not pin its
+				// high-water mark for the connection's lifetime.
+				buf = nil
+			}
+			if err != nil || w.Flush() != nil {
 				return
 			}
 		default:
+			putPayloadBuf(payload)
 			return // protocol violation
 		}
 	}
@@ -216,11 +294,24 @@ func isCorrupt(err error) bool {
 	return errors.Is(err, ErrCorruptFrame)
 }
 
-// Fetch implements Fabric.
+// Fetch implements Fabric. On a v3 connection the exchange is multiplexed —
+// many fetches pipeline over one socket and complete out of order; on older
+// connections it falls back to the serial request/response pair.
 func (t *TCP) Fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID, error) {
 	conn, err := t.conn(from, to, 0)
 	if err != nil {
 		return nil, err
+	}
+	if conn.mux != nil {
+		lists, err := conn.mux.fetch(from, to, ids)
+		if err != nil {
+			return nil, fmt.Errorf("comm: fetch %d->%d: %w", from, to, err)
+		}
+		account(t.m, from, to, RequestBytes(len(ids)), ResponseBytes(lists))
+		if t.m != nil {
+			t.m.Nodes[from].PipelinedFetches.Add(1)
+		}
+		return lists, nil
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
@@ -256,7 +347,7 @@ func (t *TCP) exchange(conn *tcpConn, from, to int, ids []graph.VertexID) ([][]g
 		conn.c.Close()
 	}
 	t.deadline(conn.c.SetReadDeadline)
-	typ, payload, err := readFrame(conn.r, conn.version)
+	typ, payload, err := readFramePooled(conn.r, conn.version)
 	if err != nil {
 		if isCorrupt(err) && t.m != nil {
 			t.m.Nodes[from].CorruptFrames.Add(1)
@@ -265,12 +356,16 @@ func (t *TCP) exchange(conn *tcpConn, from, to int, ids []graph.VertexID) ([][]g
 	}
 	switch typ {
 	case frameResponse:
-		return decodeLists(payload)
+		lists, err := decodeLists(payload)
+		putPayloadBuf(payload) // decodeLists copies into its slab
+		return lists, err
 	case frameError:
+		putPayloadBuf(payload)
 		// The server rejected our request as corrupt; surface it as the
 		// retryable integrity error it is.
 		return nil, fmt.Errorf("server rejected request: %w", ErrCorruptFrame)
 	default:
+		putPayloadBuf(payload)
 		return nil, fmt.Errorf("unexpected frame type %#02x in response: %w", typ, ErrCorruptFrame)
 	}
 }
@@ -307,6 +402,11 @@ func (t *TCP) Ping(from, to int) error {
 // dropConn closes and forgets a connection whose stream state is suspect.
 func (t *TCP) dropConn(key connKey, conn *tcpConn) {
 	conn.c.Close()
+	t.forgetConn(key, conn)
+}
+
+// forgetConn removes a connection from the pool so the next fetch redials.
+func (t *TCP) forgetConn(key connKey, conn *tcpConn) {
 	t.mu.Lock()
 	if t.conns[key] == conn {
 		delete(t.conns, key)
@@ -322,6 +422,13 @@ func (t *TCP) conn(from, to, class int) (*tcpConn, error) {
 	defer t.mu.Unlock()
 	if c, ok := t.conns[key]; ok {
 		return c, nil
+	}
+	select {
+	case <-t.closed:
+		// Refuse to dial (and spawn mux goroutines) once Close has started;
+		// Close's WaitGroup wait must not race new connections.
+		return nil, fmt.Errorf("comm: dial node %d: %w", to, net.ErrClosed)
+	default:
 	}
 	if to < 0 || to >= len(t.addrs) {
 		return nil, fmt.Errorf("comm: fetch to node %d: %w", to, ErrUnknownNode)
@@ -342,6 +449,15 @@ func (t *TCP) conn(from, to, class int) (*tcpConn, error) {
 		c.Close()
 		return nil, fmt.Errorf("comm: handshake with node %d: %w", to, err)
 	}
+	if class == 0 && tc.version >= ProtoVersionMux {
+		tc.mux = newMuxState(t, key, tc)
+		// Both mux goroutines are owned by the fabric's WaitGroup: Close
+		// severs the socket, the demux fails the connection, and both exit
+		// before Close returns.
+		t.wg.Add(2)
+		go tc.mux.writeLoop()
+		go tc.mux.readLoop()
+	}
 	t.dialed[key] = true
 	t.conns[key] = tc
 	return tc, nil
@@ -351,7 +467,9 @@ func (t *TCP) conn(from, to, class int) (*tcpConn, error) {
 // connection.
 func (t *TCP) handshake(conn *tcpConn, from int) error {
 	t.deadline(conn.c.SetWriteDeadline)
-	if err := writeFrame(conn.w, t.maxVer, frameHello, encodeHello(t.minVer, t.maxVer, from), -1); err != nil {
+	// The HELLO header carries our minimum version so a peer from an older
+	// protocol generation can still parse the frame and negotiate down.
+	if err := writeFrame(conn.w, t.minVer, frameHello, encodeHello(t.minVer, t.maxVer, from), -1); err != nil {
 		return err
 	}
 	if err := conn.w.Flush(); err != nil {
@@ -385,11 +503,19 @@ func (t *TCP) Close() error {
 	for _, ln := range t.listeners {
 		ln.Close()
 	}
+	// Severing a mux connection makes its demux goroutine re-take t.mu (to
+	// forget the connection) before exiting; that is safe because the lock
+	// is released before the WaitGroup wait below.
 	t.mu.Lock()
 	for _, c := range t.conns {
 		c.c.Close()
 	}
 	t.mu.Unlock()
+	t.amu.Lock()
+	for c := range t.accepted {
+		c.Close()
+	}
+	t.amu.Unlock()
 	t.wg.Wait()
 	return nil
 }

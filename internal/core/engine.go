@@ -113,6 +113,10 @@ type workerCtx struct {
 	buf     []child
 	matches uint64
 	exts    uint64
+	// vertHits counts active lists resolved through the parent chain —
+	// vertical data sharing (§3.1): each extension at level L reuses L
+	// already-fetched lists instead of re-fetching them.
+	vertHits uint64
 	// getListFn is the method value of getList, created once here so that
 	// extendOne does not allocate a fresh closure per embedding.
 	getListFn func(pos int) []graph.VertexID
@@ -401,6 +405,10 @@ func (e *Engine) extendRound(ch *chunk, b *fetchBatch, next *chunk, final bool) 
 			e.met.Extensions.Add(w.exts)
 			w.exts = 0
 		}
+		if w.vertHits > 0 {
+			e.met.VerticalHits.Add(w.vertHits)
+			w.vertHits = 0
+		}
 	}
 }
 
@@ -421,6 +429,7 @@ func (e *Engine) extendOne(w *workerCtx, ch *chunk, idx int32, next *chunk, fina
 		w.lists[l] = c.lists[w.anc[l]]
 	}
 	w.exts++
+	w.vertHits += uint64(level)
 	cands, raw := e.ext.Extend(w.scratch, level+1, w.emb[:level+1], w.getListFn, ch.inter[idx])
 	if final {
 		if e.countOnly {

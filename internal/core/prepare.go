@@ -58,7 +58,7 @@ func (e *Engine) prepare(ch *chunk) {
 	}
 
 	var cacheDur time.Duration
-	var fetches, remote, cacheHits, cacheMisses, hdsHits, vertHits uint64
+	var fetches, remote, cacheHits, cacheMisses, hdsHits uint64
 	for i := 0; i < n; i++ {
 		v := ch.vertex[i]
 		fetches++
@@ -110,7 +110,6 @@ func (e *Engine) prepare(ch *chunk) {
 		g.vs = append(g.vs, v)
 		remote++
 	}
-	_ = vertHits
 
 	e.met.Fetches.Add(fetches)
 	e.met.RemoteFetches.Add(remote)

@@ -21,6 +21,7 @@ func init() {
 	register(Experiment{ID: "ablation-pipeline", Title: "Strict vs non-strict circulant pipelining (extra)", Run: runAblationPipeline})
 	register(Experiment{ID: "ablation-minibatch", Title: "Mini-batch size sweep (extra)", Run: runAblationMiniBatch})
 	register(Experiment{ID: "ablation-oblivious", Title: "Pattern-aware vs pattern-oblivious enumeration (extra)", Run: runAblationOblivious})
+	register(Experiment{ID: "ablation-transport", Title: "Serial vs multiplexed TCP exchanges (extra)", Run: runAblationTransport})
 }
 
 // runAblationPipeline quantifies what the paper's non-strict pipelining
@@ -120,6 +121,72 @@ func runAblationMiniBatch(o Options) (*Table, error) {
 		t.AddRow(row...)
 	}
 	t.AddNote("the paper uses 64; tiny units pay claim overhead, huge units lose balance at chunk tails")
+	return t, nil
+}
+
+// runAblationTransport measures what wire protocol v3's request multiplexing
+// buys over the serial exchange. Same cluster, same TCP sockets, same task
+// schedule — only the handshake window differs, so serial connections
+// head-of-line block concurrent fetches to one peer behind a connection
+// mutex while v3 pipelines them on one socket.
+func runAblationTransport(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-transport",
+		Title:  "serial vs multiplexed TCP exchanges (k-GraphPi)",
+		Header: []string{"App", "G.", "serial", "mux", "speedup", "pipelined", "peak in-flight"},
+	}
+	graphs := []string{"lj"}
+	if !o.Quick {
+		graphs = append(graphs, "uk")
+	}
+	appsList := []appSpec{appTC}
+	if !o.Quick {
+		appsList = append(appsList, app4CC)
+	}
+	for _, a := range appsList {
+		for _, abbr := range graphs {
+			d, err := GetDataset(abbr)
+			if err != nil {
+				return nil, err
+			}
+			g := d.Generate(o.Scale)
+			run := func(serial bool) (cluster.Result, error) {
+				// Two sockets per machine so several workers fetch from the
+				// same remote peer at once — the contention multiplexing is
+				// built to remove.
+				c, err := cluster.New(g, cluster.Config{
+					NumNodes: o.Nodes, Sockets: 2, ThreadsPerSocket: o.Threads,
+					Transport: cluster.TransportTCP, SerialWire: serial,
+				})
+				if err != nil {
+					return cluster.Result{}, err
+				}
+				defer c.Close()
+				return runOnCluster(c, apps.KGraphPi, a)
+			}
+			ser, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			mux, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			if ser.Count != mux.Count {
+				return nil, fmt.Errorf("ablation-transport: wire protocol changed count")
+			}
+			if ser.Summary.PipelinedFetches != 0 {
+				return nil, fmt.Errorf("ablation-transport: serial wire reported %d pipelined fetches",
+					ser.Summary.PipelinedFetches)
+			}
+			t.AddRow(a.name, abbr, elapsedStr(ser.Elapsed), elapsedStr(mux.Elapsed),
+				FmtSpeedup(ser.Elapsed, mux.Elapsed),
+				FmtCount(mux.Summary.PipelinedFetches),
+				fmt.Sprintf("%d", mux.Summary.InFlightPeak))
+		}
+	}
+	t.AddNote("pipelined = fetches completed over v3 multiplexed connections; peak in-flight = most concurrent outstanding requests on any node")
 	return t, nil
 }
 

@@ -60,7 +60,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19",
 		"ablation-pipeline", "ablation-minibatch", "ablation-oblivious",
-		"ablation-chaos",
+		"ablation-chaos", "ablation-transport",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -38,6 +38,9 @@ type Node struct {
 	NodesSuspected     atomic.Uint64 // failure detector: peers this node's detector declared suspect
 	SpeculativeRanges  atomic.Uint64 // speculation: straggler root ranges this node re-executed speculatively
 	SpeculationWins    atomic.Uint64 // speculation: speculative re-executions that finished before the straggler
+	PipelinedFetches   atomic.Uint64 // transport: fetches completed over a multiplexed (v3) connection
+	InFlightFetches    atomic.Int64  // transport gauge: multiplexed requests outstanding from this node right now
+	InFlightPeak       atomic.Uint64 // transport: high-water mark of InFlightFetches
 	// PeakEmbeddings is the high-water mark of simultaneously allocated
 	// extendable embeddings across this machine's live chunks — the
 	// quantity the paper's §4.2 bounded-memory argument is about.
@@ -87,6 +90,9 @@ func (n *Node) Reset() {
 	n.NodesSuspected.Store(0)
 	n.SpeculativeRanges.Store(0)
 	n.SpeculationWins.Store(0)
+	n.PipelinedFetches.Store(0)
+	n.InFlightFetches.Store(0)
+	n.InFlightPeak.Store(0)
 	n.PeakEmbeddings.Store(0)
 	n.computeNS.Store(0)
 	n.networkNS.Store(0)
@@ -101,6 +107,18 @@ func (n *Node) RecordPeakEmbeddings(cur uint64) {
 	for {
 		old := n.PeakEmbeddings.Load()
 		if cur <= old || n.PeakEmbeddings.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// RecordInFlightPeak raises the in-flight-request high-water mark to cur if
+// it exceeds the stored peak (same CAS-max discipline as
+// RecordPeakEmbeddings, but updated concurrently by fetch goroutines).
+func (n *Node) RecordInFlightPeak(cur uint64) {
+	for {
+		old := n.InFlightPeak.Load()
+		if cur <= old || n.InFlightPeak.CompareAndSwap(old, cur) {
 			return
 		}
 	}
@@ -191,6 +209,10 @@ type Summary struct {
 	NodesSuspected     uint64
 	SpeculativeRanges  uint64
 	SpeculationWins    uint64
+	PipelinedFetches   uint64
+	// InFlightPeak is the maximum over machines of the per-machine
+	// multiplexed in-flight-request high-water mark.
+	InFlightPeak uint64
 	// PeakEmbeddings is the maximum over machines of the per-machine
 	// live-embedding high-water mark.
 	PeakEmbeddings uint64
@@ -224,6 +246,10 @@ func (c *Cluster) Summarize() Summary {
 		s.NodesSuspected += n.NodesSuspected.Load()
 		s.SpeculativeRanges += n.SpeculativeRanges.Load()
 		s.SpeculationWins += n.SpeculationWins.Load()
+		s.PipelinedFetches += n.PipelinedFetches.Load()
+		if p := n.InFlightPeak.Load(); p > s.InFlightPeak {
+			s.InFlightPeak = p
+		}
 		if p := n.PeakEmbeddings.Load(); p > s.PeakEmbeddings {
 			s.PeakEmbeddings = p
 		}

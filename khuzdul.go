@@ -116,6 +116,10 @@ type Config struct {
 	// TCP routes all remote fetches through loopback TCP sockets instead of
 	// the in-process fabric.
 	TCP bool
+	// InFlight bounds how many multiplexed requests the TCP fabric keeps
+	// outstanding per peer connection (0 = the fabric default, 16). Only
+	// meaningful with TCP.
+	InFlight int
 	// FaultProfile injects deterministic faults into the fabric, in
 	// fault.ParseProfile syntax, e.g. "seed=7,err=0.05,latency=200us,
 	// crash=2@500". Empty, "none" and "off" disable injection (the default;
@@ -179,6 +183,12 @@ type Result struct {
 	// SpeculationWins is the number of speculative re-executions that beat
 	// the straggler.
 	SpeculationWins uint64
+	// PipelinedFetches is the number of remote fetches completed over a
+	// multiplexed (v3) TCP connection.
+	PipelinedFetches uint64
+	// InFlightPeak is the per-machine high-water mark of concurrently
+	// outstanding multiplexed requests.
+	InFlightPeak uint64
 }
 
 func fromCluster(r cluster.Result) Result {
@@ -200,6 +210,8 @@ func fromCluster(r cluster.Result) Result {
 		NodesSuspected:    r.Summary.NodesSuspected,
 		SpeculativeRanges: r.Summary.SpeculativeRanges,
 		SpeculationWins:   r.Summary.SpeculationWins,
+		PipelinedFetches:  r.Summary.PipelinedFetches,
+		InFlightPeak:      r.Summary.InFlightPeak,
 	}
 }
 
@@ -233,6 +245,7 @@ func Open(g *Graph, cfg Config) (*Engine, error) {
 		CachePolicy:          pol,
 		CacheDegreeThreshold: cfg.CacheDegreeThreshold,
 		Transport:            transport,
+		InFlight:             cfg.InFlight,
 		Fault:                prof,
 		FetchTimeout:         cfg.FetchTimeout,
 		FetchRetries:         cfg.FetchRetries,
