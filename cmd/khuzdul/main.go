@@ -7,14 +7,23 @@
 //	khuzdul -graph preset:lj -app cc -k 5 -system automine
 //	khuzdul -graph graph.bin -app pattern -pattern house -induced
 //	khuzdul -graph preset:mc -app fsm -support 150
+//
+// Mining-as-a-service: `khuzdul serve` keeps a cluster resident and answers
+// pattern queries over TCP; `khuzdul query` submits one:
+//
+//	khuzdul serve -graph preset:lj -addr 127.0.0.1:7747 -window 4
+//	khuzdul query -addr 127.0.0.1:7747 -pattern house -induced
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"khuzdul"
@@ -24,6 +33,20 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "query":
+			runQuery(os.Args[2:])
+			return
+		}
+	}
+	runMine()
+}
+
+func runMine() {
 	var (
 		graphSpec = flag.String("graph", "rmat:10000:100000", "input graph: FILE (.bin or edge list), rmat:N:M[:SEED], uniform:N:M[:SEED], or preset:ABBR")
 		app       = flag.String("app", "tc", "application: tc, cc, mc, pattern, fsm")
@@ -144,6 +167,135 @@ func main() {
 		fmt.Printf("frequent patterns: %d in %v\n", len(fps), elapsed)
 	default:
 		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+}
+
+// runServe starts a resident query server: one warm cluster with shared
+// static caches, answering pattern queries over TCP until interrupted.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("khuzdul serve", flag.ExitOnError)
+	var (
+		graphSpec = fs.String("graph", "rmat:10000:100000", "input graph: FILE (.bin or edge list), rmat:N:M[:SEED], uniform:N:M[:SEED], or preset:ABBR")
+		nodes     = fs.Int("nodes", 8, "simulated machine count")
+		sockets   = fs.Int("sockets", 1, "NUMA sockets per machine")
+		threads   = fs.Int("threads", 2, "compute threads per socket")
+		chunk     = fs.Int("chunk", 0, "chunk capacity in embeddings (0 = default)")
+		cacheFrac = fs.Float64("cache", 0.1, "static cache size as fraction of graph size (0 disables)")
+		tcp       = fs.Bool("tcp", false, "use the loopback TCP fabric between cluster nodes")
+		addr      = fs.String("addr", "127.0.0.1:0", "listen address for the query endpoint")
+		window    = fs.Int("window", 0, "admission window: queries executing at once (0 = default)")
+		budget    = fs.Int("budget", 0, "worker threads per admitted query (0 = threads/window)")
+		progress  = fs.Duration("progress", 0, "partial-count streaming interval (0 = default)")
+	)
+	fs.Parse(args)
+	if err := validateFlags(*nodes, *sockets, *threads, 0, 0, 0, ""); err != nil {
+		fatal(err)
+	}
+	g, err := loadGraph(*graphSpec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %v\n", g)
+	eng, err := khuzdul.Open(g, khuzdul.Config{
+		Nodes:         *nodes,
+		Sockets:       *sockets,
+		Threads:       *threads,
+		ChunkSize:     *chunk,
+		CacheFraction: *cacheFrac,
+		TCP:           *tcp,
+		SharedCache:   true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	srv, err := eng.Serve(khuzdul.ServeConfig{
+		Addr:             *addr,
+		MaxConcurrent:    *window,
+		WorkerBudget:     *budget,
+		ProgressInterval: *progress,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving queries on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println(srv.SummaryLine())
+}
+
+// runQuery submits one query to a resident server and prints the result
+// (streaming partial counts with -progress).
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("khuzdul query", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "", "query server address (required)")
+		patName  = fs.String("pattern", "triangle", "pattern name or n:u-v,... edge list")
+		planID   = fs.Uint("plan", 0, "re-submit a server-side plan ID instead of a pattern")
+		induced  = fs.Bool("induced", false, "induced matching semantics")
+		system   = fs.String("system", "graphpi", "client system: automine or graphpi")
+		progress = fs.Bool("progress", false, "print streamed partial counts")
+		timeout  = fs.Duration("timeout", 0, "handshake and per-write timeout (0 = default)")
+	)
+	fs.Parse(args)
+	if *addr == "" {
+		fatal(errors.New("query: -addr is required"))
+	}
+	spec := khuzdul.QuerySpec{
+		Pattern: *patName,
+		PlanID:  uint32(*planID),
+		Induced: *induced,
+	}
+	switch strings.ToLower(*system) {
+	case "automine":
+		spec.System = khuzdul.Automine
+	case "graphpi":
+		spec.System = khuzdul.GraphPi
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+
+	cli, err := khuzdul.DialQuery(*addr, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	q, err := cli.Submit(spec)
+	if err != nil {
+		fatal(err)
+	}
+	stop := make(chan struct{})
+	if *progress {
+		go func() {
+			for {
+				select {
+				case p := <-q.Progress():
+					fmt.Printf("progress: %d\n", p)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	out, err := q.Result()
+	close(stop)
+	if errors.Is(err, khuzdul.ErrQueryRejected) {
+		fmt.Fprintf(os.Stderr, "khuzdul: %v\n", err)
+		fmt.Fprintln(os.Stderr, "the server's admission window is full; the query never started — resubmit when a slot frees")
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("count: %d\nelapsed: %v\n", out.Count, out.Elapsed)
+	if out.PlanID != 0 {
+		fmt.Printf("plan: %d (resubmit with -plan %d to skip compilation)\n", out.PlanID, out.PlanID)
 	}
 }
 

@@ -27,6 +27,12 @@ import (
 // build. It is a configuration error, not a runtime fault: nothing ran yet.
 var ErrUnknownTransport = errors.New("cluster: unknown transport")
 
+// ErrRunCanceled marks a run aborted by its RunOpts.Cancel channel. It is
+// deliberate, not a fault: the run bypasses task-level recovery (which would
+// re-execute the very work the caller asked to stop) and returns partial
+// nothing — canceled counts are meaningless.
+var ErrRunCanceled = errors.New("cluster: run canceled")
+
 // Transport selects the communication fabric.
 type Transport int
 
@@ -59,6 +65,13 @@ type Config struct {
 	// CacheDegreeThreshold is the static cache admission threshold
 	// (paper: 64; scaled presets use lower values).
 	CacheDegreeThreshold uint32
+	// SharedCache builds the per-socket caches once at cluster construction
+	// and reuses them across runs, instead of rebuilding cold caches per
+	// run. The resident query service sets this so hub adjacency fetched by
+	// one query serves every later query. Safe under concurrent runs — the
+	// cache implementations synchronize internally — but hit-rate metrics
+	// then mix all concurrent runs' traffic.
+	SharedCache bool
 	// Transport selects the fabric.
 	Transport Transport
 	// InFlight bounds how many multiplexed requests the TCP fabric keeps
@@ -179,6 +192,12 @@ type Cluster struct {
 	// configured. It runs for the cluster's whole lifetime over the
 	// original fabric stack.
 	detector *comm.Detector
+	// scaches, under Config.SharedCache, holds one persistent cache per
+	// (node, socket) slot, reused by every run instead of rebuilt cold.
+	scaches []cache.Cache
+	// recMu serializes task-level recovery: concurrent runs (the query
+	// service) must not race two fabric rebuilds.
+	recMu sync.Mutex
 }
 
 // New partitions g across the configured machines and opens the fabric.
@@ -205,6 +224,14 @@ func New(g *graph.Graph, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.fabric = fabric
+	if cfg.SharedCache {
+		if bytesPerSocket := c.cacheBytesPerSocket(); bytesPerSocket > 0 {
+			c.scaches = make([]cache.Cache, cfg.NumNodes*cfg.Sockets)
+			for i := range c.scaches {
+				c.scaches[i] = cache.New(cfg.CachePolicy, bytesPerSocket, cfg.CacheDegreeThreshold)
+			}
+		}
+	}
 	if cfg.Heartbeat {
 		// The detector pings through the full fabric stack (including the
 		// fault injector) so crashes and partitions are felt exactly as data
@@ -343,12 +370,65 @@ type Result struct {
 	DeadNodes []int
 }
 
+// RunOpts tunes one run beyond the cluster-wide Config. The zero value
+// reproduces Run's behavior exactly.
+type RunOpts struct {
+	// Cancel, when non-nil and closed, aborts the run: every engine stops at
+	// its next range or batch boundary, and in-flight remote fetches —
+	// including their retry backoffs — are abandoned through the resilient
+	// layer's FetchCancel. The run returns ErrRunCanceled without entering
+	// task-level recovery.
+	Cancel <-chan struct{}
+	// ThreadsPerSocket overrides Config.ThreadsPerSocket for this run
+	// (0 = the configured value). The query service uses it as the
+	// per-query worker budget so one heavy query cannot occupy every core.
+	ThreadsPerSocket int
+	// KeepMetrics skips the per-run metrics reset. Concurrent runs share the
+	// cluster's metric store, so a resident service accumulates instead of
+	// clobbering; exact counts still come from each run's own sinks.
+	KeepMetrics bool
+}
+
+// chanClosed reports whether the cancel signal (possibly nil) has fired.
+func chanClosed(cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run executes one plan over the cluster. sinkFactory supplies the
 // application sink per (node, socket) engine instance; Run returns once all
 // machines finish and aggregates their metrics. Each call resets metrics.
 func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sink) (Result, error) {
-	// Fresh counters per run so experiments report only their own traffic.
-	c.met.Reset()
+	return c.RunWith(pl, sinkFactory, RunOpts{})
+}
+
+// cacheBytesPerSocket sizes each engine's cache share from CacheFraction.
+func (c *Cluster) cacheBytesPerSocket() uint64 {
+	if c.cfg.CacheFraction <= 0 {
+		return 0
+	}
+	total := float64(c.g.SizeBytes()) * c.cfg.CacheFraction
+	return uint64(total / float64(c.cfg.Sockets))
+}
+
+// RunWith is Run with per-run options: cancellation, a worker budget, and
+// metric accumulation. Multiple RunWith calls may execute concurrently on
+// one cluster (the query service's whole point); they share the fabric, the
+// metric store (use KeepMetrics) and, under Config.SharedCache, the caches.
+func (c *Cluster) RunWith(pl *plan.Plan, sinkFactory func(node, socket int) core.Sink, opts RunOpts) (Result, error) {
+	if !opts.KeepMetrics {
+		// Fresh counters per run so experiments report only their own
+		// traffic.
+		c.met.Reset()
+	}
+	threads := c.cfg.ThreadsPerSocket
+	if opts.ThreadsPerSocket > 0 {
+		threads = opts.ThreadsPerSocket
+	}
 
 	var labelOf plan.LabelFunc
 	if c.g.Labeled() {
@@ -359,11 +439,7 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 		edgeLabelOf = plan.EdgeLabelOracle(c.g)
 	}
 
-	cacheBytesPerSocket := uint64(0)
-	if c.cfg.CacheFraction > 0 {
-		total := float64(c.g.SizeBytes()) * c.cfg.CacheFraction
-		cacheBytesPerSocket = uint64(total / float64(c.cfg.Sockets))
-	}
+	cacheBytesPerSocket := c.cacheBytesPerSocket()
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -389,8 +465,12 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 	var engines []*core.Engine
 	for node := 0; node < c.cfg.NumNodes; node++ {
 		for socket := 0; socket < c.cfg.Sockets; socket++ {
+			slot := node*c.cfg.Sockets + socket
 			var ca cache.Cache
-			if cacheBytesPerSocket > 0 {
+			switch {
+			case c.scaches != nil:
+				ca = c.scaches[slot]
+			case cacheBytesPerSocket > 0:
 				ca = cache.New(c.cfg.CachePolicy, cacheBytesPerSocket, c.cfg.CacheDegreeThreshold)
 			}
 			src := &nodeSource{
@@ -401,9 +481,14 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 			}
 			sink := sinkFactory(node, socket)
 			sinks = append(sinks, sink)
-			slot := node*c.cfg.Sockets + socket
+			// The fetch-abort channel: speculation's per-slot channel when the
+			// speculator is live (it subsumes nothing else), otherwise the
+			// caller's cancel channel so a canceled query abandons in-flight
+			// remote fetches instead of draining their retry schedules.
 			if spec != nil {
 				src.cancel = spec.cancelChan(slot)
+			} else if opts.Cancel != nil {
+				src.cancel = opts.Cancel
 			}
 			var onRange func(start, end int)
 			if trackers != nil {
@@ -414,15 +499,21 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 				}
 			}
 			var canceled func() bool
-			if spec != nil {
+			switch {
+			case spec != nil && opts.Cancel != nil:
+				slot := slot
+				canceled = func() bool { return spec.canceled(slot) || chanClosed(opts.Cancel) }
+			case spec != nil:
 				slot := slot
 				canceled = func() bool { return spec.canceled(slot) }
+			case opts.Cancel != nil:
+				canceled = func() bool { return chanClosed(opts.Cancel) }
 			}
 			ext := core.NewPlanExtender(pl, labelOf)
 			ext.EdgeLabelOf = edgeLabelOf
 			eng := core.NewEngine(ext, src, sink, core.Config{
 				ChunkSize:      c.cfg.ChunkSize,
-				Threads:        c.cfg.ThreadsPerSocket,
+				Threads:        threads,
 				MiniBatch:      c.cfg.MiniBatch,
 				FlushSize:      c.cfg.FlushSize,
 				HDS:            !c.cfg.DisableHDS,
@@ -462,6 +553,20 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 		overrides = spec.finish(errs)
 	}
 
+	// A run aborted by its caller is not a fault: recovery would re-execute
+	// exactly the work the caller asked to stop. Any slot error — engine
+	// cancellation, an abandoned fetch, or a failure racing the abort — is
+	// subsumed by the cancellation verdict.
+	if opts.Cancel != nil && chanClosed(opts.Cancel) {
+		for _, err := range errs {
+			if err != nil {
+				return Result{}, ErrRunCanceled
+			}
+		}
+		// Every slot finished before observing the cancel: the result is
+		// complete and exact, so fall through and return it.
+	}
+
 	// Classify failures: a fetch failure caused by a dead peer, exhausted
 	// retries or an injected crash is recoverable when every slot has a
 	// committed-count checkpoint; anything else aborts the run. A slot
@@ -486,7 +591,10 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 
 	res := Result{}
 	if recovering {
+		// Serialized: concurrent runs must not race two fabric rebuilds.
+		c.recMu.Lock()
 		rec, err := c.recoverRun(pl, labelOf, edgeLabelOf, trackers, errs)
+		c.recMu.Unlock()
 		if err != nil {
 			return Result{}, err
 		}
@@ -528,6 +636,11 @@ func (c *Cluster) Run(pl *plan.Plan, sinkFactory func(node, socket int) core.Sin
 // Count runs a plan with counting sinks — the common case.
 func (c *Cluster) Count(pl *plan.Plan) (Result, error) {
 	return c.Run(pl, func(node, socket int) core.Sink { return &core.CountSink{} })
+}
+
+// CountWith is Count with per-run options.
+func (c *Cluster) CountWith(pl *plan.Plan, opts RunOpts) (Result, error) {
+	return c.RunWith(pl, func(node, socket int) core.Sink { return &core.CountSink{} }, opts)
 }
 
 // CountAll runs several plans sequentially (e.g. motif counting over all
@@ -599,10 +712,11 @@ type nodeSource struct {
 	fabric comm.Fabric
 	met    *metrics.Node
 	// cancel, when non-nil, aborts in-flight fetches (including their retry
-	// backoffs) the moment this slot's speculative copy wins. The resulting
-	// failure surfaces as engine cancellation, the same outcome the polled
-	// Canceled hook produces at range boundaries — just without waiting for
-	// the retry schedule to drain first.
+	// backoffs) the moment it closes — because this slot's speculative copy
+	// won, or because the run's caller canceled it. The resulting failure
+	// surfaces as engine cancellation, the same outcome the polled Canceled
+	// hook produces at range boundaries — just without waiting for the
+	// retry schedule to drain first.
 	cancel <-chan struct{}
 }
 
@@ -633,7 +747,7 @@ func (s *nodeSource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID,
 	if cf, ok := s.fabric.(comm.CancelFetcher); ok && s.cancel != nil {
 		lists, err := cf.FetchCancel(s.local.Node(), owner, ids, s.cancel)
 		if err != nil && errors.Is(err, comm.ErrFetchCanceled) {
-			return nil, fmt.Errorf("cluster: fetch aborted by speculation cancel: %w", core.ErrCanceled)
+			return nil, fmt.Errorf("cluster: fetch aborted by cancellation: %w", core.ErrCanceled)
 		}
 		return lists, err
 	}

@@ -58,6 +58,25 @@ func corpusSeeds() map[string]map[string][]byte {
 	muxError := frame(ProtoVersionMux, frameMuxError, binary.LittleEndian.AppendUint32(nil, 42))
 	muxMissingID := frame(ProtoVersionMux, frameMuxRequest, []byte{0x2A})
 
+	// Query-plane frames (v3): the service protocol's four message types,
+	// plus the hostile shapes the codecs must reject (a spec-length prefix
+	// that lies about the payload, a result truncated mid-fixed-header).
+	querySubmit := frame(ProtoVersionMux, frameQuerySubmit,
+		encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"}))
+	querySubmitRef := frame(ProtoVersionMux, frameQuerySubmit,
+		encodeQuerySubmit(nil, &QuerySubmit{ID: 8, Kind: QueryPlanRef, PlanID: 3}))
+	queryProgress := frame(ProtoVersionMux, frameQueryProgress,
+		encodeQueryProgress(nil, &QueryProgress{ID: 7, Partial: 12345}))
+	queryResult := frame(ProtoVersionMux, frameQueryResult,
+		encodeQueryResult(nil, &QueryResult{ID: 7, Status: QueryOK, PlanID: 1, Count: 99, Elapsed: 1500000}))
+	queryRejected := frame(ProtoVersionMux, frameQueryResult,
+		encodeQueryResult(nil, &QueryResult{ID: 9, Status: QueryRejected, Detail: "admission window full"}))
+	queryCancel := frame(ProtoVersionMux, frameQueryCancel, encodeQueryCancel(nil, 7))
+	submitLyingSpec := frame(ProtoVersionMux, frameQuerySubmit,
+		encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"})[:querySubmitFixed+2])
+	resultTruncated := frame(ProtoVersionMux, frameQueryResult,
+		encodeQueryResult(nil, &QueryResult{ID: 7})[:queryResultFixed-4])
+
 	listsTruncated := append([]byte(nil), lists[:len(lists)-2]...)
 	listsLyingLen := binary.LittleEndian.AppendUint32(
 		binary.LittleEndian.AppendUint32(nil, 1), maxFrameEntries+1)
@@ -81,6 +100,15 @@ func corpusSeeds() map[string]map[string][]byte {
 			"valid-mux-error":    muxError,
 			"mux-missing-reqid":  muxMissingID,
 			"mux-truncated":      muxRequest[:frameHeaderSize+5],
+
+			"valid-query-submit":     querySubmit,
+			"valid-query-planref":    querySubmitRef,
+			"valid-query-progress":   queryProgress,
+			"valid-query-result":     queryResult,
+			"valid-query-rejected":   queryRejected,
+			"valid-query-cancel":     queryCancel,
+			"query-submit-lying-len": submitLyingSpec,
+			"query-result-truncated": resultTruncated,
 		},
 		"FuzzReadIDs": {
 			"valid-empty":    encodeIDs(nil, nil),

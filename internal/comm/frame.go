@@ -89,7 +89,16 @@ const (
 	frameMuxResponse = 0x09 // edge-list response: u32 request ID + lists payload
 	frameMuxError    = 0x0A // per-request rejection: u32 request ID (CRC-valid but malformed request)
 
-	frameTypeMax = frameMuxError
+	// Query-service frames (v3+ only; see query.go for the payload codecs).
+	// The query plane rides the same framed wire as edge-list traffic: a
+	// client submits pattern queries by ID and the server streams progress
+	// and a final result per query, many queries in flight per connection.
+	frameQuerySubmit   = 0x0B // client → server: query ID + pattern spec or plan reference
+	frameQueryProgress = 0x0C // server → client: query ID + partial match count
+	frameQueryResult   = 0x0D // server → client: query ID + terminal status + count
+	frameQueryCancel   = 0x0E // client → server: query ID to abort
+
+	frameTypeMax = frameQueryCancel
 )
 
 // castagnoli is the CRC32C table (iSCSI polynomial, hardware-accelerated on

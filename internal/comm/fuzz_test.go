@@ -71,6 +71,14 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(valid(frameMuxResponse, encodeMuxLists(nil, 42, [][]graph.VertexID{{1, 2}, {}})))
 	f.Add(valid(frameMuxError, binary.LittleEndian.AppendUint32(nil, 42)))
 	f.Add(valid(frameMuxRequest, []byte{0x2A})) // truncated: shorter than a request ID
+	// Query-plane frames (v3): submissions, progress, results, cancels, and
+	// a submit whose spec-length prefix lies about the payload.
+	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"})))
+	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 8, Kind: QueryPlanRef, PlanID: 3})))
+	f.Add(valid(frameQueryProgress, encodeQueryProgress(nil, &QueryProgress{ID: 7, Partial: 99})))
+	f.Add(valid(frameQueryResult, encodeQueryResult(nil, &QueryResult{ID: 7, Status: QueryOK, PlanID: 1, Count: 12})))
+	f.Add(valid(frameQueryCancel, encodeQueryCancel(nil, 7)))
+	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"})[:querySubmitFixed+2]))
 	huge := valid(framePing, nil)
 	binary.LittleEndian.PutUint32(huge[4:], maxFramePayload+1)
 	f.Add(huge)

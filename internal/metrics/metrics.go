@@ -262,6 +262,55 @@ func (c *Cluster) Summarize() Summary {
 	return s
 }
 
+// Service aggregates the query-service counters: the admission controller's
+// verdicts, the live-query gauge and its high-water mark, and summed query
+// latency. All fields are atomic — the server's per-connection and
+// per-query goroutines update them without coordination, mirroring the
+// per-node counters above.
+type Service struct {
+	QueriesSubmitted atomic.Uint64 // QUERY_SUBMIT frames received
+	QueriesRejected  atomic.Uint64 // submissions bounced by the admission window
+	QueriesOK        atomic.Uint64 // queries that ran to completion
+	QueriesCanceled  atomic.Uint64 // queries aborted by CANCEL or client disconnect
+	QueriesFailed    atomic.Uint64 // compile or execution failures
+	ActiveQueries    atomic.Int64  // gauge: queries executing right now
+	ActiveQueryPeak  atomic.Uint64 // high-water mark of ActiveQueries
+	queryDurationNS  atomic.Int64  // summed execution latency of finished queries
+}
+
+// RecordActivePeak raises the live-query high-water mark to cur if it
+// exceeds the stored peak (the CAS-max discipline of RecordInFlightPeak).
+func (s *Service) RecordActivePeak(cur uint64) {
+	for {
+		old := s.ActiveQueryPeak.Load()
+		if cur <= old || s.ActiveQueryPeak.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// AddQueryDuration accrues one finished query's execution latency.
+func (s *Service) AddQueryDuration(d time.Duration) { s.queryDurationNS.Add(int64(d)) }
+
+// AvgQueryDuration returns the mean execution latency over finished queries
+// (completed, canceled or failed — everything that actually ran).
+func (s *Service) AvgQueryDuration() time.Duration {
+	n := s.QueriesOK.Load() + s.QueriesCanceled.Load() + s.QueriesFailed.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.queryDurationNS.Load() / int64(n))
+}
+
+// SummaryLine renders the service counters in the CLI's one-line summary
+// style (the transport summary's sibling).
+func (s *Service) SummaryLine() string {
+	return fmt.Sprintf("service: %d queries (%d ok, %d rejected, %d canceled, %d failed), active peak %d, avg query %v",
+		s.QueriesSubmitted.Load(), s.QueriesOK.Load(), s.QueriesRejected.Load(),
+		s.QueriesCanceled.Load(), s.QueriesFailed.Load(),
+		s.ActiveQueryPeak.Load(), s.AvgQueryDuration().Round(time.Microsecond))
+}
+
 // CacheHitRate returns hits/(hits+misses), or 0 with no accesses.
 func (s Summary) CacheHitRate() float64 {
 	t := s.CacheHits + s.CacheMisses

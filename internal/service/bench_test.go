@@ -1,0 +1,114 @@
+package service
+
+import (
+	"sync"
+	"testing"
+
+	"khuzdul/internal/apps"
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+)
+
+// batchSpecs is an 8-query interactive batch — the workload the resident
+// server exists for: a mix of named patterns and explicit edge lists small
+// enough for CI, varied enough that plan compilation is not one cache line.
+var batchSpecs = []Spec{
+	{Pattern: "triangle"},
+	{Pattern: "wedge"},
+	{Pattern: "K4"},
+	{Pattern: "diamond"},
+	{Pattern: "house"},
+	{Pattern: "tailed-triangle"},
+	{Pattern: "3:0-1,1-2"},
+	{Pattern: "4:0-1,1-2,2-3,3-0"},
+}
+
+func benchGraph() *graph.Graph { return graph.RMATDefault(400, 1600, 7) }
+
+func benchClusterConfig() cluster.Config {
+	return cluster.Config{
+		NumNodes:         3,
+		ThreadsPerSocket: 2,
+		Transport:        cluster.TransportTCP,
+		CacheFraction:    0.1,
+	}
+}
+
+// BenchmarkOneShotBatch8 prices the batch the pre-service way: every query
+// pays cluster construction (fabric dial-up, cache allocation), plan
+// compilation, and teardown before any matching happens.
+func BenchmarkOneShotBatch8(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range batchSpecs {
+			cl, err := cluster.New(g, benchClusterConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			pat, err := pattern.Parse(s.Pattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl, err := apps.Compile(s.System, pat, g, apps.CompileOptions{Induced: s.Induced})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.Count(pl); err != nil {
+				b.Fatal(err)
+			}
+			cl.Close()
+		}
+	}
+}
+
+// BenchmarkServeResidentBatch8 prices the same batch against a resident
+// query server in steady state: one warm cluster, compiled plans in the
+// registry, shared caches populated, all 8 queries in flight concurrently
+// over one client connection.
+func BenchmarkServeResidentBatch8(b *testing.B) {
+	ccfg := benchClusterConfig()
+	ccfg.SharedCache = true
+	cl, err := cluster.New(benchGraph(), ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	srv, err := New(cl, Config{MaxConcurrent: len(batchSpecs)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	// Warm the plan registry and shared caches: steady state is the resident
+	// server's whole point, so the benchmark measures it, not the first hit.
+	for _, s := range batchSpecs {
+		if _, err := cli.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		errs := make([]error, len(batchSpecs))
+		var wg sync.WaitGroup
+		for j, s := range batchSpecs {
+			wg.Add(1)
+			go func(j int, s Spec) {
+				defer wg.Done()
+				_, errs[j] = cli.Run(s)
+			}(j, s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

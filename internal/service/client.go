@@ -1,0 +1,252 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"khuzdul/internal/apps"
+	"khuzdul/internal/comm"
+)
+
+// Sentinel errors a query's Result can wrap.
+var (
+	// ErrRejected: the server's admission window was full. Retryable — the
+	// query never started; resubmit after one of your queries returns.
+	ErrRejected = errors.New("service: query rejected by admission control")
+	// ErrCanceled: the query was aborted by Cancel or a disconnect.
+	ErrCanceled = errors.New("service: query canceled")
+	// ErrQueryFailed: the server could not compile or execute the query.
+	ErrQueryFailed = errors.New("service: query failed")
+	// ErrClientClosed: the connection closed with the query still pending.
+	ErrClientClosed = errors.New("service: client closed")
+)
+
+// Spec names one query.
+type Spec struct {
+	// Pattern is a named pattern ("triangle", "K5", "house") or an explicit
+	// "n:u-v,..." edge list. Ignored when PlanID is set.
+	Pattern string
+	// PlanID re-submits a plan the server compiled earlier (returned in a
+	// previous Outcome); 0 means compile from Pattern.
+	PlanID uint32
+	// System selects the client GPM system compiling the schedule.
+	System apps.System
+	// Induced requests induced (motif) matching semantics.
+	Induced bool
+}
+
+// Outcome is the terminal answer for one query.
+type Outcome struct {
+	// Status is the server's verdict.
+	Status comm.QueryStatus
+	// Count is the exact match count (Status == QueryOK).
+	Count uint64
+	// PlanID identifies the compiled plan server-side; resubmit it via
+	// Spec.PlanID to skip compilation. 0 = not cached.
+	PlanID uint32
+	// Elapsed is the server-side execution time.
+	Elapsed time.Duration
+	// Detail explains rejections and failures.
+	Detail string
+}
+
+// Client is one connection to a query server. It is safe for concurrent
+// use: many queries may be in flight at once, multiplexed by query ID.
+type Client struct {
+	qc       *comm.QueryConn
+	readDone chan struct{}
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]*Query
+	err     error
+}
+
+// Query is one in-flight submission.
+type Query struct {
+	c  *Client
+	id uint32
+	// progress holds the latest streamed partial count (latest-wins).
+	progress chan uint64
+	done     chan struct{}
+	out      Outcome
+	err      error
+}
+
+// Dial connects to a query server. timeout bounds the handshake and each
+// frame write; 0 uses a 10s default.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = DefaultIOTimeout
+	}
+	qc, err := comm.DialQuery(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		qc:       qc,
+		readDone: make(chan struct{}),
+		pending:  make(map[uint32]*Query),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close severs the connection. Pending queries complete with
+// ErrClientClosed; server-side, the disconnect cancels them.
+func (c *Client) Close() error {
+	err := c.qc.Close()
+	<-c.readDone
+	return err
+}
+
+// Submit sends one query and returns its in-flight handle.
+func (c *Client) Submit(spec Spec) (*Query, error) {
+	kind := comm.QueryPatternName
+	switch {
+	case spec.PlanID != 0:
+		kind = comm.QueryPlanRef
+	case strings.ContainsRune(spec.Pattern, ':'):
+		kind = comm.QueryEdgeList
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	q := &Query{
+		c:        c,
+		id:       c.nextID,
+		progress: make(chan uint64, 1),
+		done:     make(chan struct{}),
+	}
+	c.pending[q.id] = q
+	c.mu.Unlock()
+	err := c.qc.WriteSubmit(&comm.QuerySubmit{
+		ID:      q.id,
+		Kind:    kind,
+		System:  uint8(spec.System),
+		Induced: spec.Induced,
+		PlanID:  spec.PlanID,
+		Spec:    spec.Pattern,
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, q.id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return q, nil
+}
+
+// Run submits one query and blocks for its result.
+func (c *Client) Run(spec Spec) (Outcome, error) {
+	q, err := c.Submit(spec)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return q.Result()
+}
+
+// Result blocks until the query's terminal result (or connection failure)
+// and maps non-OK statuses to their sentinel errors.
+func (q *Query) Result() (Outcome, error) {
+	<-q.done
+	return q.out, q.err
+}
+
+// Progress returns a channel carrying the latest streamed partial count.
+// It is latest-wins with capacity 1: slow consumers see fresh values, not a
+// backlog.
+func (q *Query) Progress() <-chan uint64 { return q.progress }
+
+// Cancel asks the server to abort the query. The query still completes —
+// with QueryCanceled, or QueryOK if the result won the race.
+func (q *Query) Cancel() error { return q.c.qc.WriteCancel(q.id) }
+
+// readLoop demultiplexes server frames to pending queries until the
+// connection dies.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	for {
+		msg, err := c.qc.ReadMsg()
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %w", ErrClientClosed, err))
+			return
+		}
+		switch m := msg.(type) {
+		case *comm.QueryProgress:
+			c.mu.Lock()
+			q := c.pending[m.ID]
+			c.mu.Unlock()
+			if q != nil {
+				q.pushProgress(m.Partial)
+			}
+		case *comm.QueryResult:
+			c.mu.Lock()
+			q := c.pending[m.ID]
+			delete(c.pending, m.ID)
+			c.mu.Unlock()
+			if q != nil {
+				q.complete(m)
+			}
+		default:
+			c.fail(fmt.Errorf("%w: unexpected %T from server", ErrClientClosed, msg))
+			return
+		}
+	}
+}
+
+// fail completes every pending query with err and poisons the client.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	c.err = err
+	stranded := c.pending
+	c.pending = make(map[uint32]*Query)
+	c.mu.Unlock()
+	for _, q := range stranded {
+		q.err = err
+		close(q.done)
+	}
+}
+
+// pushProgress delivers a partial count, displacing a stale undelivered one.
+func (q *Query) pushProgress(v uint64) {
+	for {
+		select {
+		case q.progress <- v:
+			return
+		default:
+		}
+		select {
+		case <-q.progress:
+		default:
+		}
+	}
+}
+
+// complete records the terminal result and releases Result waiters.
+func (q *Query) complete(r *comm.QueryResult) {
+	q.out = Outcome{
+		Status:  r.Status,
+		Count:   r.Count,
+		PlanID:  r.PlanID,
+		Elapsed: r.Elapsed,
+		Detail:  r.Detail,
+	}
+	switch r.Status {
+	case comm.QueryOK:
+	case comm.QueryRejected:
+		q.err = fmt.Errorf("%w: %s", ErrRejected, r.Detail)
+	case comm.QueryCanceled:
+		q.err = ErrCanceled
+	default:
+		q.err = fmt.Errorf("%w: %s", ErrQueryFailed, r.Detail)
+	}
+	close(q.done)
+}

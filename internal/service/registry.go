@@ -1,0 +1,107 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"khuzdul/internal/apps"
+	"khuzdul/internal/comm"
+	"khuzdul/internal/graph"
+	"khuzdul/internal/pattern"
+	"khuzdul/internal/plan"
+)
+
+// errUnknownPlan marks a QueryPlanRef naming a plan ID this server never
+// assigned (or assigned before a restart — plan IDs are not durable).
+var errUnknownPlan = errors.New("service: unknown plan id")
+
+// maxCachedPlans bounds the registry: a resident server must not grow
+// without limit under a stream of distinct patterns. Beyond the cap,
+// queries still compile and run — they just stop being cached and get no
+// re-submittable plan ID.
+const maxCachedPlans = 1024
+
+// registry compiles and validates query submissions into enumeration plans
+// and caches the results: repeated queries for the same (spec, system,
+// induced) triple — the interactive workload the service exists for — skip
+// compilation entirely, and clients can pin a plan explicitly by the plan
+// ID returned with their first result.
+type registry struct {
+	g *graph.Graph
+
+	mu    sync.Mutex
+	ids   map[planKey]uint32
+	plans map[uint32]*plan.Plan
+	next  uint32
+}
+
+// planKey identifies one compiled plan. Spec is the raw pattern string: two
+// spellings of the same pattern compile twice, which costs a cache slot but
+// never a wrong answer.
+type planKey struct {
+	spec    string
+	system  apps.System
+	induced bool
+}
+
+func newRegistry(g *graph.Graph) *registry {
+	return &registry{
+		g:     g,
+		ids:   make(map[planKey]uint32),
+		plans: make(map[uint32]*plan.Plan),
+	}
+}
+
+// resolve turns a submission into a runnable plan plus the registry's plan
+// ID for it (0 when uncached). Plan references are looked up; pattern specs
+// are parsed and compiled under the submission's system and matching
+// semantics.
+func (r *registry) resolve(sub *comm.QuerySubmit) (uint32, *plan.Plan, error) {
+	if sub.Kind == comm.QueryPlanRef {
+		r.mu.Lock()
+		pl := r.plans[sub.PlanID]
+		r.mu.Unlock()
+		if pl == nil {
+			return 0, nil, fmt.Errorf("%w %d", errUnknownPlan, sub.PlanID)
+		}
+		return sub.PlanID, pl, nil
+	}
+	sys := apps.System(sub.System)
+	if sys != apps.KAutomine && sys != apps.KGraphPi {
+		return 0, nil, fmt.Errorf("service: unknown system %d", sub.System)
+	}
+	key := planKey{spec: sub.Spec, system: sys, induced: sub.Induced}
+	r.mu.Lock()
+	if id, ok := r.ids[key]; ok {
+		pl := r.plans[id]
+		r.mu.Unlock()
+		return id, pl, nil
+	}
+	r.mu.Unlock()
+
+	// Compile outside the lock: one slow compile must not serialize every
+	// other query's cache lookup. A racing duplicate compile is wasted work,
+	// not a correctness problem — first registration wins.
+	pat, err := pattern.Parse(sub.Spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	pl, err := apps.Compile(sys, pat, r.g, apps.CompileOptions{Induced: sub.Induced})
+	if err != nil {
+		return 0, nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.ids[key]; ok {
+		return id, r.plans[id], nil
+	}
+	if len(r.plans) >= maxCachedPlans {
+		return 0, pl, nil
+	}
+	r.next++
+	r.ids[key] = r.next
+	r.plans[r.next] = pl
+	return r.next, pl, nil
+}

@@ -1,0 +1,425 @@
+// Package service implements mining-as-a-service: a resident query server
+// over one Khuzdul cluster. The cluster stays up with partitions loaded and
+// caches warm; concurrent clients connect over the framed TCP wire, submit
+// pattern queries (named pattern, edge list, or a previously compiled
+// plan), and receive streamed partial counts plus a terminal result per
+// query.
+//
+// Three mechanisms keep a multi-tenant server honest:
+//
+//   - Admission control. A bounded window of concurrently executing
+//     queries; submissions beyond it are rejected immediately with a
+//     retryable status instead of queueing without bound.
+//   - Worker budgets. Each admitted query runs with a per-socket thread
+//     budget (by default the cluster's threads split across the window), so
+//     one heavy 5-motif query cannot starve point lookups.
+//   - Cancellation. An explicit CANCEL frame or the client's disconnect
+//     closes the query's cancel channel, which aborts every engine at its
+//     next range or batch boundary and abandons in-flight remote fetches
+//     through the resilient layer — a canceled query releases its admission
+//     slot promptly even mid-fetch.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"khuzdul/internal/cluster"
+	"khuzdul/internal/comm"
+	"khuzdul/internal/core"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/plan"
+)
+
+// Config tunes the query server. The zero value listens on an ephemeral
+// loopback port with a window of DefaultMaxConcurrent queries.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0"; the actual address
+	// is available from Server.Addr).
+	Addr string
+	// MaxConcurrent is the admission window: queries executing at once
+	// across all connections (default DefaultMaxConcurrent).
+	MaxConcurrent int
+	// WorkerBudget is the per-socket engine thread count each query runs
+	// with (default: the cluster's ThreadsPerSocket divided across the
+	// admission window, at least 1).
+	WorkerBudget int
+	// ProgressInterval is the period between streamed partial counts
+	// (default DefaultProgressInterval; negative disables streaming).
+	ProgressInterval time.Duration
+	// IOTimeout bounds each frame write to a client (default
+	// DefaultIOTimeout); a stalled client cannot pin a query goroutine.
+	IOTimeout time.Duration
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultMaxConcurrent    = 4
+	DefaultProgressInterval = 25 * time.Millisecond
+	DefaultIOTimeout        = 10 * time.Second
+)
+
+// Server is a running query service over one resident cluster.
+type Server struct {
+	cl  *cluster.Cluster
+	cfg Config
+	reg *registry
+	met *metrics.Service
+	ln  net.Listener
+	// admit is the admission window: a token held per executing query.
+	admit  chan struct{}
+	budget int
+	nslots int // NumNodes × Sockets, for progress-sink preallocation
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// New starts a query server over cl. The cluster must outlive the server
+// and must not have speculation enabled — speculation assumes it owns the
+// whole cluster per run, while the service schedules queries itself.
+func New(cl *cluster.Cluster, cfg Config) (*Server, error) {
+	ccfg := cl.Config()
+	if ccfg.Speculate {
+		return nil, errors.New("service: clusters with Speculate are not servable; the service schedules queries itself")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.ProgressInterval == 0 {
+		cfg.ProgressInterval = DefaultProgressInterval
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = DefaultIOTimeout
+	}
+	budget := cfg.WorkerBudget
+	if budget <= 0 {
+		budget = ccfg.ThreadsPerSocket / cfg.MaxConcurrent
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen: %w", err)
+	}
+	s := &Server{
+		cl:     cl,
+		cfg:    cfg,
+		reg:    newRegistry(cl.Graph()),
+		met:    &metrics.Service{},
+		ln:     ln,
+		admit:  make(chan struct{}, cfg.MaxConcurrent),
+		budget: budget,
+		nslots: ccfg.NumNodes * ccfg.Sockets,
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's actual listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Metrics returns the live service counters.
+func (s *Server) Metrics() *metrics.Service { return s.met }
+
+// SummaryLine renders the service counters in the CLI summary style.
+func (s *Server) SummaryLine() string { return s.met.SummaryLine() }
+
+// Close stops accepting, severs every client connection (which cancels
+// their in-flight queries), and joins all server goroutines.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// acceptLoop admits client connections until the listener closes.
+//
+//khuzdulvet:longrun
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (Close) or a fatal accept error; either way
+			// the server stops admitting.
+			return
+		}
+		s.mu.Lock()
+		if chanClosed(s.closed) {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// chanClosed reports whether the cancel/close signal has fired.
+func chanClosed(closed <-chan struct{}) bool {
+	select {
+	case <-closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// connState tracks one client connection's in-flight queries: the cancel
+// channel per active query ID plus the join group for its query goroutines.
+type connState struct {
+	qc *comm.QueryConn
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	active map[uint32]chan struct{}
+}
+
+// begin registers a query and returns its cancel channel, or false when the
+// ID is already in flight on this connection.
+func (st *connState) begin(id uint32) (chan struct{}, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.active[id]; dup {
+		return nil, false
+	}
+	ch := make(chan struct{})
+	st.active[id] = ch
+	return ch, true
+}
+
+// cancelQuery closes one query's cancel channel (idempotent: an already
+// finished or canceled ID is a no-op).
+func (st *connState) cancelQuery(id uint32) bool {
+	st.mu.Lock()
+	ch, ok := st.active[id]
+	delete(st.active, id)
+	st.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+	return ok
+}
+
+// finish retires a completed query's registration.
+func (st *connState) finish(id uint32) {
+	st.mu.Lock()
+	delete(st.active, id)
+	st.mu.Unlock()
+}
+
+// cancelAll aborts every in-flight query (client disconnect, server close).
+func (st *connState) cancelAll() {
+	st.mu.Lock()
+	for id, ch := range st.active {
+		close(ch)
+		delete(st.active, id)
+	}
+	st.mu.Unlock()
+}
+
+// serveConn runs one client connection: handshake, then the dispatch loop
+// reading submissions and cancels until the client disconnects. Disconnect
+// — deliberate or not — cancels every query the connection still has in
+// flight: results would have nowhere to go.
+//
+//khuzdulvet:longrun
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	defer c.Close()
+	qc, err := comm.AcceptQuery(c, s.cfg.IOTimeout)
+	if err != nil {
+		return
+	}
+	st := &connState{qc: qc, active: make(map[uint32]chan struct{})}
+dispatch:
+	for {
+		if chanClosed(s.closed) {
+			break
+		}
+		msg, err := qc.ReadMsg()
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *comm.QuerySubmit:
+			s.submit(st, m)
+		case *comm.QueryCancel:
+			st.cancelQuery(m.ID)
+		default:
+			// Clients must not send server-side frames; the connection's
+			// framing discipline is broken, so drop it.
+			break dispatch
+		}
+	}
+	st.cancelAll()
+	st.wg.Wait()
+}
+
+// submit applies admission control to one submission and, if admitted,
+// launches its query goroutine. Called from the connection's dispatch
+// goroutine, so per-connection submission order is preserved.
+func (s *Server) submit(st *connState, sub *comm.QuerySubmit) {
+	s.met.QueriesSubmitted.Add(1)
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.met.QueriesRejected.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{
+			ID:     sub.ID,
+			Status: comm.QueryRejected,
+			Detail: fmt.Sprintf("admission window full (%d queries executing); retry after a result returns", s.cfg.MaxConcurrent),
+		})
+		return
+	}
+	cancel, ok := st.begin(sub.ID)
+	if !ok {
+		<-s.admit
+		s.met.QueriesFailed.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{
+			ID:     sub.ID,
+			Status: comm.QueryFailed,
+			Detail: fmt.Sprintf("query id %d is already in flight on this connection", sub.ID),
+		})
+		return
+	}
+	st.wg.Add(1)
+	sub2 := *sub
+	go s.runQuery(st, &sub2, cancel)
+}
+
+// runQuery executes one admitted query end to end: resolve the plan,
+// stream progress while the cluster runs it under this query's cancel
+// channel and worker budget, and deliver the terminal result.
+func (s *Server) runQuery(st *connState, sub *comm.QuerySubmit, cancel chan struct{}) {
+	defer st.wg.Done()
+	defer func() { <-s.admit }()
+	defer st.finish(sub.ID)
+	cur := s.met.ActiveQueries.Add(1)
+	if cur > 0 {
+		s.met.RecordActivePeak(uint64(cur))
+	}
+	defer s.met.ActiveQueries.Add(-1)
+
+	planID, pl, err := s.reg.resolve(sub)
+	if err != nil {
+		s.met.QueriesFailed.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{ID: sub.ID, Status: comm.QueryFailed, Detail: err.Error()})
+		return
+	}
+	if chanClosed(cancel) {
+		s.met.QueriesCanceled.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{ID: sub.ID, Status: comm.QueryCanceled, PlanID: planID})
+		return
+	}
+
+	start := time.Now()
+	res, runErr := s.runPlan(st, sub.ID, pl, cancel)
+	elapsed := time.Since(start)
+	s.met.AddQueryDuration(elapsed)
+	switch {
+	case runErr == nil:
+		s.met.QueriesOK.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{
+			ID: sub.ID, Status: comm.QueryOK, PlanID: planID,
+			Count: res.Count, Elapsed: elapsed,
+		})
+	case errors.Is(runErr, cluster.ErrRunCanceled):
+		s.met.QueriesCanceled.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{
+			ID: sub.ID, Status: comm.QueryCanceled, PlanID: planID, Elapsed: elapsed,
+		})
+	default:
+		s.met.QueriesFailed.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{
+			ID: sub.ID, Status: comm.QueryFailed, PlanID: planID,
+			Elapsed: elapsed, Detail: runErr.Error(),
+		})
+	}
+}
+
+// runPlan executes pl on the resident cluster with this query's budget and
+// cancel channel, streaming partial counts while it runs. Sinks are
+// preallocated per (node, socket) slot so the progress goroutine can read
+// their atomic counters concurrently with the run.
+func (s *Server) runPlan(st *connState, id uint32, pl *plan.Plan, cancel <-chan struct{}) (cluster.Result, error) {
+	sinks := make([]*core.CountSink, s.nslots)
+	for i := range sinks {
+		sinks[i] = &core.CountSink{}
+	}
+	sockets := s.cl.Config().Sockets
+	factory := func(node, socket int) core.Sink { return sinks[node*sockets+socket] }
+
+	done := make(chan struct{})
+	var pwg sync.WaitGroup
+	if s.cfg.ProgressInterval > 0 {
+		pwg.Add(1)
+		go s.streamProgress(st, id, sinks, cancel, done, &pwg)
+	}
+	res, err := s.cl.RunWith(pl, factory, cluster.RunOpts{
+		Cancel:           cancel,
+		ThreadsPerSocket: s.budget,
+		KeepMetrics:      true,
+	})
+	close(done)
+	pwg.Wait()
+	return res, err
+}
+
+// streamProgress periodically sums the query's sink counters and streams
+// the partial count to the client, until the run finishes or the query is
+// canceled.
+func (s *Server) streamProgress(st *connState, id uint32, sinks []*core.CountSink, cancel <-chan struct{}, done <-chan struct{}, pwg *sync.WaitGroup) {
+	defer pwg.Done()
+	t := time.NewTicker(s.cfg.ProgressInterval)
+	defer t.Stop()
+	last := ^uint64(0)
+	for {
+		select {
+		case <-done:
+			return
+		case <-cancel:
+			return
+		case <-t.C:
+			var partial uint64
+			for _, cs := range sinks {
+				partial += cs.Count()
+			}
+			if partial == last {
+				continue
+			}
+			last = partial
+			// Write errors mean the client is gone; the dispatch loop will
+			// notice and cancel the query.
+			st.qc.WriteProgress(&comm.QueryProgress{ID: id, Partial: partial})
+		}
+	}
+}

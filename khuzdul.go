@@ -31,6 +31,7 @@ import (
 	"khuzdul/internal/graph"
 	"khuzdul/internal/pattern"
 	"khuzdul/internal/plan"
+	"khuzdul/internal/service"
 )
 
 // Graph is an immutable in-memory undirected graph in CSR form.
@@ -141,6 +142,11 @@ type Config struct {
 	// an idle machine, first completion wins, and counts are reconciled
 	// exactly. Enables the resilience layer.
 	Speculate bool
+	// SharedCache keeps one static cache per NUMA slot alive across runs
+	// instead of rebuilding it per run — the resident-server shape, where a
+	// stream of queries shares the warm cache. Requires CacheFraction > 0 to
+	// have any effect.
+	SharedCache bool
 }
 
 // Result reports one mining run.
@@ -251,6 +257,7 @@ func Open(g *Graph, cfg Config) (*Engine, error) {
 		FetchRetries:         cfg.FetchRetries,
 		Heartbeat:            cfg.Heartbeat,
 		Speculate:            cfg.Speculate,
+		SharedCache:          cfg.SharedCache,
 	})
 	if err != nil {
 		return nil, err
@@ -330,6 +337,49 @@ func (e *Engine) MineFrequent(minSupport uint64, maxEdges int) ([]FrequentPatter
 		out[i] = FrequentPattern{Pattern: fp.Pattern, Support: fp.Support}
 	}
 	return out, res.Elapsed, nil
+}
+
+// Query service: a resident Engine can serve pattern queries over TCP with
+// admission control, per-query cancellation, and streamed partial counts.
+// These are thin re-exports of internal/service.
+type (
+	// QueryServer is a running mining-as-a-service endpoint over one Engine.
+	QueryServer = service.Server
+	// QueryClient is one client connection to a QueryServer.
+	QueryClient = service.Client
+	// QuerySpec names one query (pattern or server-side plan reference).
+	QuerySpec = service.Spec
+	// QueryOutcome is the terminal answer for one query.
+	QueryOutcome = service.Outcome
+	// ServeConfig tunes a QueryServer (address, admission window, worker
+	// budget, progress cadence).
+	ServeConfig = service.Config
+)
+
+// Query-result sentinel errors, re-exported so callers can errors.Is them
+// without importing internal packages.
+var (
+	// ErrQueryRejected: the admission window was full; the query never
+	// started and is safe to resubmit.
+	ErrQueryRejected = service.ErrRejected
+	// ErrQueryCanceled: the query was aborted mid-run.
+	ErrQueryCanceled = service.ErrCanceled
+	// ErrQueryFailed: the server could not compile or execute the query.
+	ErrQueryFailed = service.ErrQueryFailed
+)
+
+// Serve starts a resident query server over the engine's cluster. The
+// engine must stay open for the server's lifetime; close the server before
+// the engine. Clusters opened with SharedCache reuse their static caches
+// across the served queries.
+func (e *Engine) Serve(cfg ServeConfig) (*QueryServer, error) {
+	return service.New(e.c, cfg)
+}
+
+// DialQuery connects to a query server started by Serve (or `khuzdul
+// serve`). A zero timeout uses the service default.
+func DialQuery(addr string, timeout time.Duration) (*QueryClient, error) {
+	return service.Dial(addr, timeout)
 }
 
 // ExplainPattern compiles p the way the engine's current system would and
