@@ -9,10 +9,12 @@
 //	khuzdul -graph preset:mc -app fsm -support 150
 //
 // Mining-as-a-service: `khuzdul serve` keeps a cluster resident and answers
-// pattern queries over TCP; `khuzdul query` submits one:
+// pattern queries over TCP; `khuzdul query` submits one; `khuzdul health`
+// probes a running server:
 //
-//	khuzdul serve -graph preset:lj -addr 127.0.0.1:7747 -window 4
-//	khuzdul query -addr 127.0.0.1:7747 -pattern house -induced
+//	khuzdul serve -graph preset:lj -addr 127.0.0.1:7747 -window 4 -drain-timeout 10s
+//	khuzdul query -addr 127.0.0.1:7747 -pattern house -induced -deadline 30s
+//	khuzdul health -addr 127.0.0.1:7747
 package main
 
 import (
@@ -40,6 +42,9 @@ func main() {
 			return
 		case "query":
 			runQuery(os.Args[2:])
+			return
+		case "health":
+			runHealth(os.Args[2:])
 			return
 		}
 	}
@@ -76,7 +81,7 @@ func runMine() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*nodes, *sockets, *threads, *retries, *inflight, *fetchTO, *faultProf); err != nil {
+	if err := validateFlags(*nodes, *sockets, *threads, *retries, *inflight, *fetchTO, 0, 0, *faultProf); err != nil {
 		fatal(err)
 	}
 
@@ -186,9 +191,11 @@ func runServe(args []string) {
 		window    = fs.Int("window", 0, "admission window: queries executing at once (0 = default)")
 		budget    = fs.Int("budget", 0, "worker threads per admitted query (0 = threads/window)")
 		progress  = fs.Duration("progress", 0, "partial-count streaming interval (0 = default)")
+		drainTO   = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown grace: how long in-flight queries may finish before being hard-canceled")
+		deadline  = fs.Duration("query-deadline", 0, "server-side cap on any query's execution time (0 = uncapped)")
 	)
 	fs.Parse(args)
-	if err := validateFlags(*nodes, *sockets, *threads, 0, 0, 0, ""); err != nil {
+	if err := validateFlags(*nodes, *sockets, *threads, 0, 0, 0, *drainTO, *deadline, ""); err != nil {
 		fatal(err)
 	}
 	g, err := loadGraph(*graphSpec)
@@ -214,6 +221,7 @@ func runServe(args []string) {
 		MaxConcurrent:    *window,
 		WorkerBudget:     *budget,
 		ProgressInterval: *progress,
+		QueryDeadline:    *deadline,
 	})
 	if err != nil {
 		fatal(err)
@@ -223,8 +231,8 @@ func runServe(args []string) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
-	if err := srv.Close(); err != nil {
+	fmt.Printf("draining (up to %v for in-flight queries)\n", *drainTO)
+	if err := srv.Drain(*drainTO); err != nil {
 		fatal(err)
 	}
 	fmt.Println(srv.SummaryLine())
@@ -242,15 +250,20 @@ func runQuery(args []string) {
 		system   = fs.String("system", "graphpi", "client system: automine or graphpi")
 		progress = fs.Bool("progress", false, "print streamed partial counts")
 		timeout  = fs.Duration("timeout", 0, "handshake and per-write timeout (0 = default)")
+		deadline = fs.Duration("deadline", 0, "server-side execution deadline for this query (0 = the server's cap, if any)")
 	)
 	fs.Parse(args)
 	if *addr == "" {
 		fatal(errors.New("query: -addr is required"))
 	}
+	if *deadline < 0 {
+		fatal(fmt.Errorf("-deadline must not be negative, got %v", *deadline))
+	}
 	spec := khuzdul.QuerySpec{
-		Pattern: *patName,
-		PlanID:  uint32(*planID),
-		Induced: *induced,
+		Pattern:  *patName,
+		PlanID:   uint32(*planID),
+		Induced:  *induced,
+		Deadline: *deadline,
 	}
 	switch strings.ToLower(*system) {
 	case "automine":
@@ -285,12 +298,20 @@ func runQuery(args []string) {
 	}
 	out, err := q.Result()
 	close(stop)
-	if errors.Is(err, khuzdul.ErrQueryRejected) {
+	switch {
+	case errors.Is(err, khuzdul.ErrQueryDraining):
+		fmt.Fprintf(os.Stderr, "khuzdul: %v\n", err)
+		fmt.Fprintln(os.Stderr, "the server is draining for shutdown; the query never started — resubmit against another replica")
+		os.Exit(1)
+	case errors.Is(err, khuzdul.ErrQueryRejected):
 		fmt.Fprintf(os.Stderr, "khuzdul: %v\n", err)
 		fmt.Fprintln(os.Stderr, "the server's admission window is full; the query never started — resubmit when a slot frees")
 		os.Exit(1)
-	}
-	if err != nil {
+	case errors.Is(err, khuzdul.ErrQueryDeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "khuzdul: %v\n", err)
+		fmt.Fprintln(os.Stderr, "the query's deadline fired mid-run — resubmit with a larger -deadline or ask the operator to raise -query-deadline")
+		os.Exit(1)
+	case err != nil:
 		fatal(err)
 	}
 	fmt.Printf("count: %d\nelapsed: %v\n", out.Count, out.Elapsed)
@@ -299,11 +320,48 @@ func runQuery(args []string) {
 	}
 }
 
+// runHealth probes a resident server and prints its fitness: drain state,
+// admission load, lifetime counters, and suspected-dead cluster nodes.
+func runHealth(args []string) {
+	fs := flag.NewFlagSet("khuzdul health", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "", "query server address (required)")
+		timeout = fs.Duration("timeout", 0, "handshake and per-write timeout (0 = default)")
+	)
+	fs.Parse(args)
+	if *addr == "" {
+		fatal(errors.New("health: -addr is required"))
+	}
+	cli, err := khuzdul.DialQuery(*addr, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	h, err := cli.Health()
+	if err != nil {
+		fatal(err)
+	}
+	state := "serving"
+	if h.Draining {
+		state = "draining"
+	}
+	fmt.Printf("state: %s\nactive queries: %d / %d\nsubmitted: %d\ndeadline exceeded: %d\n",
+		state, h.ActiveQueries, h.Window, h.Submitted, h.DeadlineExceeded)
+	if len(h.SuspectNodes) > 0 {
+		fmt.Printf("suspect nodes: %v (shards re-partitioned onto survivors)\n", h.SuspectNodes)
+	} else {
+		fmt.Println("suspect nodes: none")
+	}
+	if h.Draining {
+		os.Exit(1)
+	}
+}
+
 // validateFlags rejects nonsensical cluster and resilience settings up
 // front, before any graph loading, with errors that name the flag — the
 // alternative is a partition panic or a silently useless retry budget deep
 // inside a run.
-func validateFlags(nodes, sockets, threads, retries, inflight int, fetchTO time.Duration, faultProf string) error {
+func validateFlags(nodes, sockets, threads, retries, inflight int, fetchTO, drainTO, queryDeadline time.Duration, faultProf string) error {
 	if nodes <= 0 {
 		return fmt.Errorf("-nodes must be positive, got %d", nodes)
 	}
@@ -321,6 +379,12 @@ func validateFlags(nodes, sockets, threads, retries, inflight int, fetchTO time.
 	}
 	if fetchTO < 0 {
 		return fmt.Errorf("-fetch-timeout must not be negative, got %v", fetchTO)
+	}
+	if drainTO < 0 {
+		return fmt.Errorf("-drain-timeout must not be negative, got %v", drainTO)
+	}
+	if queryDeadline < 0 {
+		return fmt.Errorf("-query-deadline must not be negative, got %v", queryDeadline)
 	}
 	if _, err := fault.ParseProfile(faultProf); err != nil {
 		return fmt.Errorf("bad -fault-profile: %w", err)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"khuzdul/internal/cache"
@@ -198,6 +199,16 @@ type Cluster struct {
 	// recMu serializes task-level recovery: concurrent runs (the query
 	// service) must not race two fabric rebuilds.
 	recMu sync.Mutex
+	// fo is the resident failover routing adopted after a successful
+	// recovery: subsequent runs route dead machines' shards to survivors
+	// from the start instead of re-discovering the crash per run. Each run
+	// snapshots the pointer once, so a mid-run adoption by a concurrent
+	// run's recovery never changes routing under a running query. Nil until
+	// a recovery converges.
+	fo atomic.Pointer[failover]
+	// repart counts topology adoptions — how many times the resident
+	// routing re-partitioned because the dead set changed.
+	repart atomic.Uint64
 }
 
 // New partitions g across the configured machines and opens the fabric.
@@ -213,7 +224,16 @@ func New(g *graph.Graph, cfg Config) (*Cluster, error) {
 		servers[node] = comm.ServerFunc(func(ids []graph.VertexID) [][]graph.VertexID {
 			out := make([][]graph.VertexID, len(ids))
 			for i, id := range ids {
-				out[i] = l.MustNeighbors(id)
+				if l.Owns(id) {
+					out[i] = l.MustNeighbors(id)
+					continue
+				}
+				// A vertex this machine does not own under the base
+				// assignment: the requester routed it here through an adopted
+				// failover topology, so serve it from the full graph — the
+				// stand-in for the re-partitioned shard a survivor reloads
+				// after a crash.
+				out[i] = g.Neighbors(id)
 			}
 			return out
 		})
@@ -339,6 +359,17 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Metrics returns the cluster's metric store (reset between runs by Run).
 func (c *Cluster) Metrics() *metrics.Cluster { return c.met }
 
+// DeadNodes returns the machines the cluster currently believes dead —
+// crashed by fault injection or declared dead by the circuit breaker —
+// ascending. The resident query service's health surface reads this.
+func (c *Cluster) DeadNodes() []int { return c.deadNodes() }
+
+// Repartitions returns how many times the cluster adopted a new failover
+// topology after recovery: concurrent queries that trip over the same crash
+// share one re-partition, so under a single node loss this stays at 1 no
+// matter how many queries were in flight.
+func (c *Cluster) Repartitions() uint64 { return c.repart.Load() }
+
 // Result is the outcome of one distributed run.
 type Result struct {
 	// Count is the total match count summed over all machines (meaningful
@@ -441,6 +472,12 @@ func (c *Cluster) RunWith(pl *plan.Plan, sinkFactory func(node, socket int) core
 
 	cacheBytesPerSocket := c.cacheBytesPerSocket()
 
+	// Snapshot the resident failover topology once per run: dead machines'
+	// shards route to survivors from the first fetch, and the snapshot keeps
+	// routing stable even if a concurrent run's recovery adopts a newer
+	// topology mid-run.
+	fo := c.fo.Load()
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	sinks := make([]core.Sink, 0, c.cfg.NumNodes*c.cfg.Sockets)
@@ -461,6 +498,7 @@ func (c *Cluster) RunWith(pl *plan.Plan, sinkFactory func(node, socket int) core
 	var spec *speculator
 	if c.cfg.Speculate && !c.cfg.SequentialNodes && trackers != nil {
 		spec = newSpeculator(c, pl, labelOf, edgeLabelOf)
+		spec.fo = fo
 	}
 	var engines []*core.Engine
 	for node := 0; node < c.cfg.NumNodes; node++ {
@@ -478,6 +516,9 @@ func (c *Cluster) RunWith(pl *plan.Plan, sinkFactory func(node, socket int) core
 				socket: socket,
 				fabric: c.fabric,
 				met:    c.met.Nodes[node],
+				g:      c.g,
+				fo:     fo,
+				roots:  c.rootsOf(fo, node, socket),
 			}
 			sink := sinkFactory(node, socket)
 			sinks = append(sinks, sink)
@@ -593,7 +634,7 @@ func (c *Cluster) RunWith(pl *plan.Plan, sinkFactory func(node, socket int) core
 	if recovering {
 		// Serialized: concurrent runs must not race two fabric rebuilds.
 		c.recMu.Lock()
-		rec, err := c.recoverRun(pl, labelOf, edgeLabelOf, trackers, errs)
+		rec, err := c.recoverRun(pl, labelOf, edgeLabelOf, trackers, errs, fo, opts.Cancel)
 		c.recMu.Unlock()
 		if err != nil {
 			return Result{}, err
@@ -711,6 +752,17 @@ type nodeSource struct {
 	socket int
 	fabric comm.Fabric
 	met    *metrics.Node
+	// g is the full input graph, standing in for re-partitioned shard data
+	// when fo routes a dead machine's vertex here.
+	g *graph.Graph
+	// fo is the run's snapshot of the resident failover topology (nil when
+	// every machine is alive): vertices owned by dead machines route to
+	// their failover owner instead.
+	fo *failover
+	// roots is this slot's precomputed root list — base-owned vertices plus
+	// any adopted from dead machines — computed once by rootsOf so recovery
+	// re-derives the identical list.
+	roots []graph.VertexID
 	// cancel, when non-nil, aborts in-flight fetches (including their retry
 	// backoffs) the moment it closes — because this slot's speculative copy
 	// won, or because the run's caller canceled it. The resulting failure
@@ -723,6 +775,16 @@ type nodeSource struct {
 func (s *nodeSource) Classify(v graph.VertexID) (core.Locality, int) {
 	asg := s.local.Assignment()
 	owner := asg.Owner(v)
+	if s.fo != nil && s.fo.dead[owner] {
+		// An adopted vertex: its base owner is dead, so route to the
+		// failover owner. Adopted shards carry no NUMA affinity — a local
+		// adoptee is served directly from the full graph.
+		owner = s.fo.Owner(v)
+		if owner != s.local.Node() {
+			return core.LocalityRemote, owner
+		}
+		return core.LocalityLocal, owner
+	}
 	if owner != s.local.Node() {
 		return core.LocalityRemote, owner
 	}
@@ -733,6 +795,9 @@ func (s *nodeSource) Classify(v graph.VertexID) (core.Locality, int) {
 }
 
 func (s *nodeSource) LocalList(v graph.VertexID) []graph.VertexID {
+	if s.fo != nil && s.fo.dead[s.local.Assignment().Owner(v)] {
+		return s.g.Neighbors(v)
+	}
 	return s.local.MustNeighbors(v)
 }
 
@@ -757,11 +822,6 @@ func (s *nodeSource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID,
 func (s *nodeSource) NumNodes() int  { return s.local.Assignment().NumNodes() }
 func (s *nodeSource) LocalNode() int { return s.local.Node() }
 
-func (s *nodeSource) Roots() []graph.VertexID {
-	if s.local.Assignment().NumSockets() > 1 {
-		return s.local.SocketVertices(s.socket)
-	}
-	return s.local.OwnedVertices()
-}
+func (s *nodeSource) Roots() []graph.VertexID { return s.roots }
 
 func (s *nodeSource) Label(v graph.VertexID) graph.Label { return s.local.Label(v) }

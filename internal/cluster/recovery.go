@@ -88,13 +88,33 @@ func allTracked(trs []*rangeTracker) bool {
 	return true
 }
 
-// rootsOf recomputes the root list of one engine slot, identical to what its
-// nodeSource served during the run.
-func (c *Cluster) rootsOf(node, socket int) []graph.VertexID {
-	if c.asg.NumSockets() > 1 {
-		return c.locals[node].SocketVertices(socket)
+// rootsOf computes the root list of one engine slot under a failover
+// snapshot (nil = base assignment): the slot's base-owned vertices plus any
+// it adopted from dead machines. RunWith precomputes this into each
+// nodeSource and recovery re-derives it here, so the two always agree —
+// checkpoint prefixes index into identical lists.
+func (c *Cluster) rootsOf(fo *failover, node, socket int) []graph.VertexID {
+	if fo != nil && fo.dead[node] {
+		// A machine dead at run start contributes no roots: its shard was
+		// re-partitioned to survivors when the topology was adopted.
+		return nil
 	}
-	return c.locals[node].OwnedVertices()
+	var roots []graph.VertexID
+	if c.asg.NumSockets() > 1 {
+		roots = c.locals[node].SocketVertices(socket)
+	} else {
+		roots = c.locals[node].OwnedVertices()
+	}
+	if fo == nil {
+		return roots
+	}
+	adopted := fo.adoptedFor(node, socket)
+	if len(adopted) == 0 {
+		return roots
+	}
+	out := make([]graph.VertexID, 0, len(roots)+len(adopted))
+	out = append(out, roots...)
+	return append(out, adopted...)
 }
 
 // deadNodes returns the union of breaker-declared and crash-injected dead
@@ -126,6 +146,11 @@ type failover struct {
 	asg   partition.Assignment
 	alive []int
 	dead  []bool
+	// adopted, when the failover is adopted as the cluster's resident
+	// topology, lists per engine slot the vertices re-partitioned onto it
+	// from dead machines (nil for recovery-round failovers, which assign
+	// explicit root lists instead).
+	adopted [][]graph.VertexID
 }
 
 func newFailover(asg partition.Assignment, deadNodes []int) *failover {
@@ -139,6 +164,74 @@ func newFailover(asg partition.Assignment, deadNodes []int) *failover {
 		}
 	}
 	return f
+}
+
+// sameDead reports whether the failover's dead set equals deadNodes
+// (ascending).
+func (f *failover) sameDead(deadNodes []int) bool {
+	n := 0
+	for _, d := range deadNodes {
+		if !f.dead[d] {
+			return false
+		}
+		n++
+	}
+	have := 0
+	for _, d := range f.dead {
+		if d {
+			have++
+		}
+	}
+	return n == have
+}
+
+// adoptedFor returns the vertices slot (node, socket) inherited from dead
+// machines under this adopted topology.
+func (f *failover) adoptedFor(node, socket int) []graph.VertexID {
+	if f.adopted == nil {
+		return nil
+	}
+	return f.adopted[node*f.asg.NumSockets()+socket]
+}
+
+// adopt installs fo as the cluster's resident topology: every vertex owned
+// by a dead machine is assigned to its failover owner's slot list, so
+// subsequent runs mine dead shards on survivors from the start instead of
+// paying a recovery round per run. Called under recMu; a no-op when the
+// dead set already matches the resident topology (concurrent queries that
+// tripped over the same crash share one re-partition).
+func (c *Cluster) adopt(fo *failover) {
+	if cur := c.fo.Load(); cur != nil && cur.sameDead(deadList(fo)) {
+		return
+	}
+	sockets := c.asg.NumSockets()
+	fo.adopted = make([][]graph.VertexID, c.cfg.NumNodes*sockets)
+	for v := 0; v < c.g.NumVertices(); v++ {
+		id := graph.VertexID(v)
+		if !fo.dead[c.asg.Owner(id)] {
+			continue
+		}
+		node := fo.Owner(id)
+		socket := 0
+		if sockets > 1 {
+			socket = c.asg.Socket(id)
+		}
+		slot := node*sockets + socket
+		fo.adopted[slot] = append(fo.adopted[slot], id)
+	}
+	c.fo.Store(fo)
+	c.repart.Add(1)
+}
+
+// deadList renders a failover's dead set ascending.
+func deadList(f *failover) []int {
+	var out []int
+	for n, d := range f.dead {
+		if d {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func (f *failover) Owner(v graph.VertexID) int {
@@ -162,6 +255,9 @@ type recoverySource struct {
 	node   int
 	roots  []graph.VertexID
 	fabric comm.Fabric
+	// cancel aborts in-flight recovery fetches (and their retry backoffs)
+	// when the run's caller gives up — deadline or drain.
+	cancel <-chan struct{}
 }
 
 func (s *recoverySource) Classify(v graph.VertexID) (core.Locality, int) {
@@ -182,6 +278,13 @@ func (s *recoverySource) CrossSocketList(v graph.VertexID) []graph.VertexID {
 }
 
 func (s *recoverySource) Fetch(owner int, ids []graph.VertexID) ([][]graph.VertexID, error) {
+	if cf, ok := s.fabric.(comm.CancelFetcher); ok && s.cancel != nil {
+		lists, err := cf.FetchCancel(s.node, owner, ids, s.cancel)
+		if err != nil && errors.Is(err, comm.ErrFetchCanceled) {
+			return nil, fmt.Errorf("cluster: recovery fetch aborted by cancellation: %w", core.ErrCanceled)
+		}
+		return lists, err
+	}
 	return s.fabric.Fetch(s.node, owner, ids)
 }
 
@@ -202,9 +305,12 @@ type recovery struct {
 // recoverRun commits every slot's checkpoint, then re-executes unfinished
 // roots on survivors until none remain. Partial counts past a checkpoint are
 // deliberately discarded (they are not in the committed snapshots), which is
-// what keeps re-execution exact.
+// what keeps re-execution exact. fo is the failed run's failover snapshot
+// (its roots were computed under it); cancel, when closed, aborts recovery
+// — a query deadline or a drain hard-cancel must bound recovery rounds too,
+// not just the main run.
 func (c *Cluster) recoverRun(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf plan.EdgeLabelFunc,
-	trackers []*rangeTracker, errs []error) (recovery, error) {
+	trackers []*rangeTracker, errs []error, fo *failover, cancel <-chan struct{}) (recovery, error) {
 	var rec recovery
 	var pending []graph.VertexID
 	for slot, tr := range trackers {
@@ -213,22 +319,30 @@ func (c *Cluster) recoverRun(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf 
 		if errs[slot] == nil {
 			continue
 		}
-		roots := c.rootsOf(slot/c.cfg.Sockets, slot%c.cfg.Sockets)
+		roots := c.rootsOf(fo, slot/c.cfg.Sockets, slot%c.cfg.Sockets)
 		pending = append(pending, roots[prefix:]...)
 	}
 	for len(pending) > 0 {
+		if cancel != nil && chanClosed(cancel) {
+			return rec, fmt.Errorf("cluster: recovery aborted: %w", ErrRunCanceled)
+		}
 		rec.rounds++
 		if rec.rounds > maxRecoveryRounds {
 			return rec, fmt.Errorf("%w after %d rounds (%d roots pending)",
 				ErrRecoveryStalled, maxRecoveryRounds, len(pending))
 		}
 		var err error
-		pending, err = c.recoveryRound(pl, labelOf, edgeLabelOf, &rec, pending)
+		pending, err = c.recoveryRound(pl, labelOf, edgeLabelOf, &rec, pending, cancel)
 		if err != nil {
 			return rec, err
 		}
 	}
 	rec.dead = c.deadNodes()
+	if len(rec.dead) > 0 {
+		// Recovery converged: make the failover topology resident so
+		// subsequent runs route around the dead machines from the start.
+		c.adopt(newFailover(c.asg, rec.dead))
+	}
 	return rec, nil
 }
 
@@ -237,7 +351,7 @@ func (c *Cluster) recoverRun(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf 
 // fresh fabric stack (sharing the fault injector's state and prior dead
 // verdicts), and return the roots still unfinished after this round.
 func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabelOf plan.EdgeLabelFunc,
-	rec *recovery, pending []graph.VertexID) ([]graph.VertexID, error) {
+	rec *recovery, pending []graph.VertexID, cancel <-chan struct{}) ([]graph.VertexID, error) {
 	dead := c.deadNodes()
 	fo := newFailover(c.asg, dead)
 	if len(fo.alive) == 0 {
@@ -298,8 +412,12 @@ func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabel
 		trs[i] = tr
 		ext := core.NewPlanExtender(pl, labelOf)
 		ext.EdgeLabelOf = edgeLabelOf
+		var canceled func() bool
+		if cancel != nil {
+			canceled = func() bool { return chanClosed(cancel) }
+		}
 		eng := core.NewEngine(ext, &recoverySource{
-			g: c.g, fo: fo, node: node, roots: assigned[i], fabric: fabric,
+			g: c.g, fo: fo, node: node, roots: assigned[i], fabric: fabric, cancel: cancel,
 		}, sink, core.Config{
 			ChunkSize:      c.cfg.ChunkSize,
 			Threads:        c.cfg.Sockets * c.cfg.ThreadsPerSocket,
@@ -309,6 +427,7 @@ func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabel
 			StrictPipeline: c.cfg.StrictPipeline,
 			Metrics:        c.met.Nodes[node],
 			OnRangeDone:    tr.onRangeDone,
+			Canceled:       canceled,
 		})
 		if c.cfg.SequentialNodes {
 			errs[i] = eng.Run()
@@ -322,6 +441,9 @@ func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabel
 	}
 	wg.Wait()
 
+	if cancel != nil && chanClosed(cancel) {
+		return nil, fmt.Errorf("cluster: recovery aborted: %w", ErrRunCanceled)
+	}
 	var next []graph.VertexID
 	for i, node := range fo.alive {
 		tr := trs[i]

@@ -102,6 +102,9 @@ type speculator struct {
 	pl          *plan.Plan
 	labelOf     plan.LabelFunc
 	edgeLabelOf plan.EdgeLabelFunc
+	// fo is the failover snapshot the run launched with (nil before any
+	// node has ever died); root lists must match the main engines'.
+	fo *failover
 
 	slots  int
 	cancel []atomic.Bool // straggler-side cancel flags, polled via Canceled
@@ -173,7 +176,7 @@ func (s *speculator) begin(trackers []*rangeTracker) {
 	s.trackers = trackers
 	s.roots = make([][]graph.VertexID, s.slots)
 	for slot := range s.roots {
-		s.roots[slot] = s.c.rootsOf(slot/s.c.cfg.Sockets, slot%s.c.cfg.Sockets)
+		s.roots[slot] = s.c.rootsOf(s.fo, slot/s.c.cfg.Sockets, slot%s.c.cfg.Sockets)
 	}
 	s.began = time.Now()
 	s.wg.Add(1)
@@ -301,17 +304,22 @@ func (s *speculator) launchLocked(slot, node int) {
 }
 
 // runSpec executes one speculative copy. The copy routes fetches by the
-// base assignment (nobody is dead — just slow) and serves its inherited
-// roots from the full graph, exactly like a recovery engine. On clean
+// run's failover view (the base assignment when nobody has ever died — a
+// straggler is just slow, not dead) and serves its inherited roots from
+// the full graph, exactly like a recovery engine. On clean
 // completion it cancels the straggler; the straggler then stops at its
 // next range boundary and overrides reconciles the two halves.
 func (s *speculator) runSpec(sp *specRun, suffix []graph.VertexID) {
 	defer s.wg.Done()
 	ext := core.NewPlanExtender(s.pl, s.labelOf)
 	ext.EdgeLabelOf = s.edgeLabelOf
+	fo := s.fo
+	if fo == nil {
+		fo = newFailover(s.c.asg, nil)
+	}
 	eng := core.NewEngine(ext, &recoverySource{
 		g:      s.c.g,
-		fo:     newFailover(s.c.asg, nil),
+		fo:     fo,
 		node:   sp.node,
 		roots:  suffix,
 		fabric: s.c.fabric,

@@ -72,10 +72,23 @@ func corpusSeeds() map[string]map[string][]byte {
 	queryRejected := frame(ProtoVersionMux, frameQueryResult,
 		encodeQueryResult(nil, &QueryResult{ID: 9, Status: QueryRejected, Detail: "admission window full"}))
 	queryCancel := frame(ProtoVersionMux, frameQueryCancel, encodeQueryCancel(nil, 7))
+	querySubmitDeadline := frame(ProtoVersionMux, frameQuerySubmit,
+		encodeQuerySubmit(nil, &QuerySubmit{ID: 9, Spec: "triangle", Deadline: 5e9}))
 	submitLyingSpec := frame(ProtoVersionMux, frameQuerySubmit,
 		encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"})[:querySubmitFixed+2])
 	resultTruncated := frame(ProtoVersionMux, frameQueryResult,
 		encodeQueryResult(nil, &QueryResult{ID: 7})[:queryResultFixed-4])
+
+	// QUERY_HEALTH in both directions (the empty probe and a populated
+	// report), plus the hostile shapes: a suspect-count prefix that lies
+	// about the payload and a report truncated mid-fixed-header.
+	queryHealthProbe := frame(ProtoVersionMux, frameQueryHealth, nil)
+	queryHealthReport := frame(ProtoVersionMux, frameQueryHealth,
+		encodeQueryHealth(nil, &QueryHealth{Draining: true, ActiveQueries: 2, Window: 4, Submitted: 17, DeadlineExceeded: 1, Suspects: []uint32{1, 3}}))
+	healthLyingSuspects := frame(ProtoVersionMux, frameQueryHealth,
+		encodeQueryHealth(nil, &QueryHealth{Window: 4, Suspects: []uint32{2}})[:queryHealthFixed])
+	healthTruncated := frame(ProtoVersionMux, frameQueryHealth,
+		encodeQueryHealth(nil, &QueryHealth{Window: 4})[:queryHealthFixed-5])
 
 	listsTruncated := append([]byte(nil), lists[:len(lists)-2]...)
 	listsLyingLen := binary.LittleEndian.AppendUint32(
@@ -107,8 +120,14 @@ func corpusSeeds() map[string]map[string][]byte {
 			"valid-query-result":     queryResult,
 			"valid-query-rejected":   queryRejected,
 			"valid-query-cancel":     queryCancel,
+			"query-submit-deadline":  querySubmitDeadline,
 			"query-submit-lying-len": submitLyingSpec,
 			"query-result-truncated": resultTruncated,
+
+			"valid-query-health-probe":  queryHealthProbe,
+			"valid-query-health-report": queryHealthReport,
+			"query-health-lying-len":    healthLyingSuspects,
+			"query-health-truncated":    healthTruncated,
 		},
 		"FuzzReadIDs": {
 			"valid-empty":    encodeIDs(nil, nil),

@@ -97,8 +97,9 @@ const (
 	frameQueryProgress = 0x0C // server → client: query ID + partial match count
 	frameQueryResult   = 0x0D // server → client: query ID + terminal status + count
 	frameQueryCancel   = 0x0E // client → server: query ID to abort
+	frameQueryHealth   = 0x0F // client → server: empty probe; server → client: health report
 
-	frameTypeMax = frameQueryCancel
+	frameTypeMax = frameQueryHealth
 )
 
 // castagnoli is the CRC32C table (iSCSI polynomial, hardware-accelerated on

@@ -71,14 +71,19 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(valid(frameMuxResponse, encodeMuxLists(nil, 42, [][]graph.VertexID{{1, 2}, {}})))
 	f.Add(valid(frameMuxError, binary.LittleEndian.AppendUint32(nil, 42)))
 	f.Add(valid(frameMuxRequest, []byte{0x2A})) // truncated: shorter than a request ID
-	// Query-plane frames (v3): submissions, progress, results, cancels, and
-	// a submit whose spec-length prefix lies about the payload.
+	// Query-plane frames (v3): submissions, progress, results, cancels,
+	// health probes/reports, and a submit whose spec-length prefix lies
+	// about the payload.
 	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"})))
 	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 8, Kind: QueryPlanRef, PlanID: 3})))
+	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 9, Spec: "triangle", Deadline: 5e9})))
 	f.Add(valid(frameQueryProgress, encodeQueryProgress(nil, &QueryProgress{ID: 7, Partial: 99})))
 	f.Add(valid(frameQueryResult, encodeQueryResult(nil, &QueryResult{ID: 7, Status: QueryOK, PlanID: 1, Count: 12})))
 	f.Add(valid(frameQueryCancel, encodeQueryCancel(nil, 7)))
 	f.Add(valid(frameQuerySubmit, encodeQuerySubmit(nil, &QuerySubmit{ID: 7, Spec: "triangle"})[:querySubmitFixed+2]))
+	f.Add(valid(frameQueryHealth, nil)) // the probe direction: empty payload
+	f.Add(valid(frameQueryHealth, encodeQueryHealth(nil, &QueryHealth{Draining: true, ActiveQueries: 2, Window: 4, Submitted: 17, Suspects: []uint32{1, 3}})))
+	f.Add(valid(frameQueryHealth, encodeQueryHealth(nil, &QueryHealth{Window: 4, Suspects: []uint32{2}})[:queryHealthFixed]))
 	huge := valid(framePing, nil)
 	binary.LittleEndian.PutUint32(huge[4:], maxFramePayload+1)
 	f.Add(huge)

@@ -16,10 +16,11 @@ import (
 // because the query plane needs many exchanges in flight per connection —
 // and then carries four frame types:
 //
-//	QUERY_SUBMIT    client → server   query ID + pattern spec or plan ref
+//	QUERY_SUBMIT    client → server   query ID + deadline + pattern spec or plan ref
 //	QUERY_PROGRESS  server → client   query ID + running partial count
 //	QUERY_RESULT    server → client   query ID + terminal status + count
 //	QUERY_CANCEL    client → server   query ID to abort
+//	QUERY_HEALTH    both directions   empty payload = probe; else the health report
 //
 // The query ID is client-assigned and scoped to the connection, exactly as
 // mux request IDs are; the server echoes it on every progress and result
@@ -58,8 +59,12 @@ const (
 	QueryCanceled QueryStatus = 2
 	// QueryFailed: compilation or execution failed; Detail explains.
 	QueryFailed QueryStatus = 3
+	// QueryDeadlineExceeded: the query's deadline fired mid-run and aborted
+	// it; Count is meaningless. Distinct from QueryCanceled so clients can
+	// tell their own budget expiring from an explicit abort.
+	QueryDeadlineExceeded QueryStatus = 4
 
-	queryStatusMax = QueryFailed
+	queryStatusMax = QueryDeadlineExceeded
 )
 
 const (
@@ -69,8 +74,14 @@ const (
 	// maxQueryDetail bounds the result detail string likewise.
 	maxQueryDetail = 1 << 12
 
-	querySubmitFixed = 13 // u32 ID + kind + system + flags + u32 planID + u16 specLen
+	querySubmitFixed = 21 // u32 ID + kind + system + flags + u32 planID + u64 deadlineNS + u16 specLen
 	queryResultFixed = 27 // u32 ID + status + u32 planID + u64 count + u64 elapsedNS + u16 detailLen
+	queryHealthFixed = 27 // state + u32 active + u32 window + u64 submitted + u64 deadlineExceeded + u16 suspectCount
+
+	// maxDurationNS bounds the nanosecond fields carried on the wire
+	// (deadlines, elapsed times): anything beyond 2^62 ns (~146 years) is a
+	// corrupt frame, not a plausible duration.
+	maxDurationNS = uint64(1) << 62
 )
 
 // QuerySubmit is the QUERY_SUBMIT payload: a client's request to run one
@@ -88,6 +99,10 @@ type QuerySubmit struct {
 	Induced bool
 	// PlanID references a previously compiled plan (QueryPlanRef only).
 	PlanID uint32
+	// Deadline bounds the query's server-side execution; past it the server
+	// cancels the run and answers QueryDeadlineExceeded. 0 means no
+	// client-imposed deadline (the server may still cap it).
+	Deadline time.Duration
 	// Spec is the pattern name or edge list (empty for QueryPlanRef).
 	Spec string
 }
@@ -120,6 +135,31 @@ type QueryCancel struct {
 	ID uint32
 }
 
+// QueryHealthProbe is a client's empty-payload QUERY_HEALTH frame: a request
+// for the server's health report. The same frame type carries the report
+// back — direction plus the payload length disambiguate.
+type QueryHealthProbe struct{}
+
+// QueryHealth is the server's QUERY_HEALTH report: drain state, query-plane
+// load, and the nodes the resident cluster currently believes dead.
+type QueryHealth struct {
+	// Draining reports whether the server has begun a graceful drain: new
+	// submissions are being rejected while in-flight queries finish.
+	Draining bool
+	// ActiveQueries is the number of queries executing right now.
+	ActiveQueries uint32
+	// Window is the admission window (max concurrently executing queries).
+	Window uint32
+	// Submitted is the lifetime QUERY_SUBMIT count.
+	Submitted uint64
+	// DeadlineExceeded is the lifetime count of queries killed by their
+	// deadline.
+	DeadlineExceeded uint64
+	// Suspects lists the cluster nodes currently suspected dead (crashed or
+	// breaker-declared), ascending.
+	Suspects []uint32
+}
+
 // encodeQuerySubmit appends the QUERY_SUBMIT payload to buf.
 func encodeQuerySubmit(buf []byte, q *QuerySubmit) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, q.ID)
@@ -130,6 +170,11 @@ func encodeQuerySubmit(buf []byte, q *QuerySubmit) []byte {
 	}
 	buf = append(buf, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, q.PlanID)
+	ns := q.Deadline.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ns))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(q.Spec)))
 	return append(buf, q.Spec...)
 }
@@ -157,7 +202,12 @@ func decodeQuerySubmit(p []byte) (QuerySubmit, error) {
 	default:
 		return QuerySubmit{}, fmt.Errorf("comm: query submit flags %#02x: %w", p[6], ErrCorruptFrame)
 	}
-	n := binary.LittleEndian.Uint16(p[11:])
+	ns := binary.LittleEndian.Uint64(p[11:])
+	if ns > maxDurationNS {
+		return QuerySubmit{}, fmt.Errorf("comm: query deadline %d ns: %w", ns, ErrCorruptFrame)
+	}
+	q.Deadline = time.Duration(ns)
+	n := binary.LittleEndian.Uint16(p[19:])
 	if n > maxQuerySpec {
 		return QuerySubmit{}, fmt.Errorf("comm: query spec announces %d bytes (max %d): %w", n, maxQuerySpec, ErrCorruptFrame)
 	}
@@ -215,7 +265,7 @@ func decodeQueryResult(p []byte) (QueryResult, error) {
 		return QueryResult{}, fmt.Errorf("comm: query result status %d: %w", q.Status, ErrCorruptFrame)
 	}
 	ns := binary.LittleEndian.Uint64(p[17:])
-	if ns > uint64(1<<62) {
+	if ns > maxDurationNS {
 		return QueryResult{}, fmt.Errorf("comm: query result elapsed %d ns: %w", ns, ErrCorruptFrame)
 	}
 	q.Elapsed = time.Duration(ns)
@@ -241,6 +291,60 @@ func decodeQueryCancel(p []byte) (QueryCancel, error) {
 		return QueryCancel{}, fmt.Errorf("comm: query cancel payload %d bytes, want 4: %w", len(p), ErrCorruptFrame)
 	}
 	return QueryCancel{ID: binary.LittleEndian.Uint32(p)}, nil
+}
+
+// encodeQueryHealth appends the QUERY_HEALTH report payload to buf.
+func encodeQueryHealth(buf []byte, h *QueryHealth) []byte {
+	var state byte
+	if h.Draining {
+		state = 1
+	}
+	buf = append(buf, state)
+	buf = binary.LittleEndian.AppendUint32(buf, h.ActiveQueries)
+	buf = binary.LittleEndian.AppendUint32(buf, h.Window)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Submitted)
+	buf = binary.LittleEndian.AppendUint64(buf, h.DeadlineExceeded)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(h.Suspects)))
+	for _, n := range h.Suspects {
+		buf = binary.LittleEndian.AppendUint32(buf, n)
+	}
+	return buf
+}
+
+// decodeQueryHealth parses and validates a QUERY_HEALTH report payload (the
+// non-empty direction; an empty payload is the probe). The suspect list must
+// be strictly ascending so accepted payloads re-encode byte-identically.
+func decodeQueryHealth(p []byte) (QueryHealth, error) {
+	if len(p) < queryHealthFixed {
+		return QueryHealth{}, fmt.Errorf("comm: query health payload %d bytes (want ≥ %d): %w", len(p), queryHealthFixed, ErrCorruptFrame)
+	}
+	h := QueryHealth{
+		ActiveQueries:    binary.LittleEndian.Uint32(p[1:]),
+		Window:           binary.LittleEndian.Uint32(p[5:]),
+		Submitted:        binary.LittleEndian.Uint64(p[9:]),
+		DeadlineExceeded: binary.LittleEndian.Uint64(p[17:]),
+	}
+	switch p[0] {
+	case 0:
+	case 1:
+		h.Draining = true
+	default:
+		return QueryHealth{}, fmt.Errorf("comm: query health state %#02x: %w", p[0], ErrCorruptFrame)
+	}
+	n := int(binary.LittleEndian.Uint16(p[25:]))
+	if len(p) != queryHealthFixed+4*n {
+		return QueryHealth{}, fmt.Errorf("comm: query health announces %d suspects in %d payload bytes: %w", n, len(p), ErrCorruptFrame)
+	}
+	if n > 0 {
+		h.Suspects = make([]uint32, n)
+		for i := range h.Suspects {
+			h.Suspects[i] = binary.LittleEndian.Uint32(p[queryHealthFixed+4*i:])
+			if i > 0 && h.Suspects[i] <= h.Suspects[i-1] {
+				return QueryHealth{}, fmt.Errorf("comm: query health suspects not strictly ascending: %w", ErrCorruptFrame)
+			}
+		}
+	}
+	return h, nil
 }
 
 // QueryClientNode is the node ID a query client sends in its HELLO: query
@@ -349,7 +453,8 @@ func (q *QueryConn) deadline(set func(time.Time) error) {
 func (q *QueryConn) Close() error { return q.c.Close() }
 
 // ReadMsg reads the next query-plane frame and returns its decoded payload:
-// *QuerySubmit, *QueryProgress, *QueryResult or *QueryCancel. Reads park
+// *QuerySubmit, *QueryProgress, *QueryResult, *QueryCancel,
+// *QueryHealthProbe (an empty QUERY_HEALTH) or *QueryHealth. Reads park
 // without a deadline — a query connection legitimately idles — so only the
 // peer or Close unblocks it. Any non-query frame after the handshake is a
 // protocol violation surfaced as ErrCorruptFrame.
@@ -379,6 +484,15 @@ func (q *QueryConn) ReadMsg() (any, error) {
 		return &m, nil
 	case frameQueryCancel:
 		m, err := decodeQueryCancel(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &m, nil
+	case frameQueryHealth:
+		if len(payload) == 0 {
+			return &QueryHealthProbe{}, nil
+		}
+		m, err := decodeQueryHealth(payload)
 		if err != nil {
 			return nil, err
 		}
@@ -427,4 +541,15 @@ func (q *QueryConn) WriteResult(r *QueryResult) error {
 // WriteCancel sends a QUERY_CANCEL (client side).
 func (q *QueryConn) WriteCancel(id uint32) error {
 	return q.writeMsg(frameQueryCancel, func(b []byte) []byte { return encodeQueryCancel(b, id) })
+}
+
+// WriteHealthProbe sends an empty QUERY_HEALTH frame (client side): a
+// request for the server's health report.
+func (q *QueryConn) WriteHealthProbe() error {
+	return q.writeMsg(frameQueryHealth, func(b []byte) []byte { return b })
+}
+
+// WriteHealth sends a QUERY_HEALTH report (server side).
+func (q *QueryConn) WriteHealth(h *QueryHealth) error {
+	return q.writeMsg(frameQueryHealth, func(b []byte) []byte { return encodeQueryHealth(b, h) })
 }

@@ -18,6 +18,7 @@ func TestQueryCodecRoundTrip(t *testing.T) {
 		{ID: 7, Kind: QueryPatternName, System: 1, Induced: true, Spec: "triangle"},
 		{ID: 0xFFFFFFFF, Kind: QueryEdgeList, Spec: "4:0-1,1-2,2-3,3-0"},
 		{ID: 3, Kind: QueryPlanRef, PlanID: 12},
+		{ID: 9, Spec: "triangle", Deadline: 30 * time.Second},
 	}
 	for _, want := range subs {
 		got, err := decodeQuerySubmit(encodeQuerySubmit(nil, &want))
@@ -55,6 +56,29 @@ func TestQueryCodecRoundTrip(t *testing.T) {
 	if err != nil || gotC.ID != 42 {
 		t.Fatalf("cancel round trip: got %+v (%v)", gotC, err)
 	}
+
+	healths := []QueryHealth{
+		{},
+		{Draining: true, ActiveQueries: 3, Window: 4, Submitted: 99, DeadlineExceeded: 2},
+		{ActiveQueries: 1, Window: 8, Suspects: []uint32{0, 2, 5}},
+	}
+	for _, want := range healths {
+		got, err := decodeQueryHealth(encodeQueryHealth(nil, &want))
+		if err != nil {
+			t.Fatalf("health %+v: %v", want, err)
+		}
+		if got.Draining != want.Draining || got.ActiveQueries != want.ActiveQueries ||
+			got.Window != want.Window || got.Submitted != want.Submitted ||
+			got.DeadlineExceeded != want.DeadlineExceeded ||
+			len(got.Suspects) != len(want.Suspects) {
+			t.Fatalf("health round trip: got %+v, want %+v", got, want)
+		}
+		for i := range want.Suspects {
+			if got.Suspects[i] != want.Suspects[i] {
+				t.Fatalf("health suspects: got %v, want %v", got.Suspects, want.Suspects)
+			}
+		}
+	}
 }
 
 // TestQueryCodecRejects checks the validation paths all surface
@@ -83,8 +107,11 @@ func TestQueryCodecRejects(t *testing.T) {
 	if _, err := decodeQuerySubmit(mut(6, 7)); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("bad flags: %v", err)
 	}
-	if _, err := decodeQuerySubmit(mut(11, 0xFF)); !errors.Is(err, ErrCorruptFrame) {
+	if _, err := decodeQuerySubmit(mut(19, 0xFF)); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("lying spec length: %v", err)
+	}
+	if _, err := decodeQuerySubmit(mut(18, 0xFF)); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("absurd deadline: %v", err)
 	}
 	if _, err := decodeQuerySubmit(base[:len(base)-1]); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("truncated spec: %v", err)
@@ -100,6 +127,24 @@ func TestQueryCodecRejects(t *testing.T) {
 	}
 	if _, err := decodeQueryCancel([]byte{1, 2, 3, 4, 5}); !errors.Is(err, ErrCorruptFrame) {
 		t.Fatalf("long cancel: %v", err)
+	}
+
+	if _, err := decodeQueryHealth([]byte{1, 2, 3}); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("short health: %v", err)
+	}
+	h := encodeQueryHealth(nil, &QueryHealth{Window: 4, Suspects: []uint32{1, 3}})
+	h[0] = 7 // invalid drain state
+	if _, err := decodeQueryHealth(h); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bad health state: %v", err)
+	}
+	h[0] = 0
+	h[25] = 9 // lying suspect count
+	if _, err := decodeQueryHealth(h); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("lying suspect count: %v", err)
+	}
+	desc := encodeQueryHealth(nil, &QueryHealth{Suspects: []uint32{3, 1}})
+	if _, err := decodeQueryHealth(desc); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("descending suspects: %v", err)
 	}
 }
 

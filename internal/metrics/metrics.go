@@ -268,14 +268,15 @@ func (c *Cluster) Summarize() Summary {
 // per-query goroutines update them without coordination, mirroring the
 // per-node counters above.
 type Service struct {
-	QueriesSubmitted atomic.Uint64 // QUERY_SUBMIT frames received
-	QueriesRejected  atomic.Uint64 // submissions bounced by the admission window
-	QueriesOK        atomic.Uint64 // queries that ran to completion
-	QueriesCanceled  atomic.Uint64 // queries aborted by CANCEL or client disconnect
-	QueriesFailed    atomic.Uint64 // compile or execution failures
-	ActiveQueries    atomic.Int64  // gauge: queries executing right now
-	ActiveQueryPeak  atomic.Uint64 // high-water mark of ActiveQueries
-	queryDurationNS  atomic.Int64  // summed execution latency of finished queries
+	QueriesSubmitted        atomic.Uint64 // QUERY_SUBMIT frames received
+	QueriesRejected         atomic.Uint64 // submissions bounced by the admission window or a draining server
+	QueriesOK               atomic.Uint64 // queries that ran to completion
+	QueriesCanceled         atomic.Uint64 // queries aborted by CANCEL or client disconnect
+	QueriesFailed           atomic.Uint64 // compile or execution failures
+	QueriesDeadlineExceeded atomic.Uint64 // queries killed by their per-query deadline
+	ActiveQueries           atomic.Int64  // gauge: queries executing right now
+	ActiveQueryPeak         atomic.Uint64 // high-water mark of ActiveQueries
+	queryDurationNS         atomic.Int64  // summed execution latency of finished queries
 }
 
 // RecordActivePeak raises the live-query high-water mark to cur if it
@@ -293,9 +294,11 @@ func (s *Service) RecordActivePeak(cur uint64) {
 func (s *Service) AddQueryDuration(d time.Duration) { s.queryDurationNS.Add(int64(d)) }
 
 // AvgQueryDuration returns the mean execution latency over finished queries
-// (completed, canceled or failed — everything that actually ran).
+// (completed, canceled, deadline-killed or failed — everything that
+// actually ran).
 func (s *Service) AvgQueryDuration() time.Duration {
-	n := s.QueriesOK.Load() + s.QueriesCanceled.Load() + s.QueriesFailed.Load()
+	n := s.QueriesOK.Load() + s.QueriesCanceled.Load() + s.QueriesFailed.Load() +
+		s.QueriesDeadlineExceeded.Load()
 	if n == 0 {
 		return 0
 	}
@@ -305,9 +308,9 @@ func (s *Service) AvgQueryDuration() time.Duration {
 // SummaryLine renders the service counters in the CLI's one-line summary
 // style (the transport summary's sibling).
 func (s *Service) SummaryLine() string {
-	return fmt.Sprintf("service: %d queries (%d ok, %d rejected, %d canceled, %d failed), active peak %d, avg query %v",
+	return fmt.Sprintf("service: %d queries (%d ok, %d rejected, %d canceled, %d deadline-exceeded, %d failed), active peak %d, avg query %v",
 		s.QueriesSubmitted.Load(), s.QueriesOK.Load(), s.QueriesRejected.Load(),
-		s.QueriesCanceled.Load(), s.QueriesFailed.Load(),
+		s.QueriesCanceled.Load(), s.QueriesDeadlineExceeded.Load(), s.QueriesFailed.Load(),
 		s.ActiveQueryPeak.Load(), s.AvgQueryDuration().Round(time.Microsecond))
 }
 

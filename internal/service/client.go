@@ -22,7 +22,17 @@ var (
 	ErrQueryFailed = errors.New("service: query failed")
 	// ErrClientClosed: the connection closed with the query still pending.
 	ErrClientClosed = errors.New("service: client closed")
+	// ErrDeadlineExceeded: the query's deadline fired before it finished.
+	// The query was canceled server-side; resubmit with a larger deadline.
+	ErrDeadlineExceeded = errors.New("service: query deadline exceeded")
+	// ErrDraining: the server is shutting down gracefully. Retryable — the
+	// query never started; resubmit against another replica.
+	ErrDraining = errors.New("service: server is draining")
 )
+
+// drainingPrefix tags rejection and cancellation details caused by a
+// server drain; clients detect it to map onto ErrDraining.
+const drainingPrefix = "DRAINING"
 
 // Spec names one query.
 type Spec struct {
@@ -36,6 +46,10 @@ type Spec struct {
 	System apps.System
 	// Induced requests induced (motif) matching semantics.
 	Induced bool
+	// Deadline bounds the query's server-side execution (including any
+	// crash-recovery it triggers); past it the query completes with
+	// ErrDeadlineExceeded. 0 defers to the server's cap, if any.
+	Deadline time.Duration
 }
 
 // Outcome is the terminal answer for one query.
@@ -62,6 +76,10 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]*Query
+	// healthq queues Health waiters FIFO: the server answers probes in
+	// order on the same connection, so the oldest waiter owns the next
+	// report.
+	healthq []chan *comm.QueryHealth
 	err     error
 }
 
@@ -128,12 +146,13 @@ func (c *Client) Submit(spec Spec) (*Query, error) {
 	c.pending[q.id] = q
 	c.mu.Unlock()
 	err := c.qc.WriteSubmit(&comm.QuerySubmit{
-		ID:      q.id,
-		Kind:    kind,
-		System:  uint8(spec.System),
-		Induced: spec.Induced,
-		PlanID:  spec.PlanID,
-		Spec:    spec.Pattern,
+		ID:       q.id,
+		Kind:     kind,
+		System:   uint8(spec.System),
+		Induced:  spec.Induced,
+		PlanID:   spec.PlanID,
+		Spec:     spec.Pattern,
+		Deadline: spec.Deadline,
 	})
 	if err != nil {
 		c.mu.Lock()
@@ -195,6 +214,17 @@ func (c *Client) readLoop() {
 			if q != nil {
 				q.complete(m)
 			}
+		case *comm.QueryHealth:
+			c.mu.Lock()
+			var waiter chan *comm.QueryHealth
+			if len(c.healthq) > 0 {
+				waiter = c.healthq[0]
+				c.healthq = c.healthq[1:]
+			}
+			c.mu.Unlock()
+			if waiter != nil {
+				waiter <- m
+			}
 		default:
 			c.fail(fmt.Errorf("%w: unexpected %T from server", ErrClientClosed, msg))
 			return
@@ -208,10 +238,15 @@ func (c *Client) fail(err error) {
 	c.err = err
 	stranded := c.pending
 	c.pending = make(map[uint32]*Query)
+	probes := c.healthq
+	c.healthq = nil
 	c.mu.Unlock()
 	for _, q := range stranded {
 		q.err = err
 		close(q.done)
+	}
+	for _, w := range probes {
+		close(w)
 	}
 }
 
@@ -242,11 +277,59 @@ func (q *Query) complete(r *comm.QueryResult) {
 	switch r.Status {
 	case comm.QueryOK:
 	case comm.QueryRejected:
-		q.err = fmt.Errorf("%w: %s", ErrRejected, r.Detail)
+		if strings.HasPrefix(r.Detail, drainingPrefix) {
+			q.err = fmt.Errorf("%w: %s", ErrDraining, r.Detail)
+		} else {
+			q.err = fmt.Errorf("%w: %s", ErrRejected, r.Detail)
+		}
 	case comm.QueryCanceled:
-		q.err = ErrCanceled
+		if strings.HasPrefix(r.Detail, drainingPrefix) {
+			q.err = fmt.Errorf("%w: %s", ErrDraining, r.Detail)
+		} else {
+			q.err = ErrCanceled
+		}
+	case comm.QueryDeadlineExceeded:
+		q.err = fmt.Errorf("%w: %s", ErrDeadlineExceeded, r.Detail)
 	default:
 		q.err = fmt.Errorf("%w: %s", ErrQueryFailed, r.Detail)
 	}
 	close(q.done)
+}
+
+// Health probes the server and blocks for its report: drain state, load,
+// and suspected-dead cluster nodes.
+func (c *Client) Health() (Health, error) {
+	ch := make(chan *comm.QueryHealth, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Health{}, err
+	}
+	c.healthq = append(c.healthq, ch)
+	c.mu.Unlock()
+	if err := c.qc.WriteHealthProbe(); err != nil {
+		// The probe never left; unqueue the waiter (unless the readLoop
+		// already failed and closed it) so later reports stay aligned.
+		c.mu.Lock()
+		for i, w := range c.healthq {
+			if w == ch {
+				c.healthq = append(c.healthq[:i], c.healthq[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return Health{}, err
+	}
+	w, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return Health{}, err
+	}
+	return healthFromWire(w), nil
 }

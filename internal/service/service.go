@@ -5,7 +5,7 @@
 // plan), and receive streamed partial counts plus a terminal result per
 // query.
 //
-// Three mechanisms keep a multi-tenant server honest:
+// Five mechanisms keep a multi-tenant server honest:
 //
 //   - Admission control. A bounded window of concurrently executing
 //     queries; submissions beyond it are rejected immediately with a
@@ -18,6 +18,16 @@
 //     next range or batch boundary and abandons in-flight remote fetches
 //     through the resilient layer — a canceled query releases its admission
 //     slot promptly even mid-fetch.
+//   - Deadlines. Each query carries an optional deadline (client-requested,
+//     capped by Config.QueryDeadline); when it fires, the same cancel
+//     channel closes and the query completes with QueryDeadlineExceeded.
+//     The deadline bounds everything the query does, including crash
+//     recovery rounds.
+//   - Graceful drain. Drain stops accepting work (new submissions are
+//     rejected with a retryable DRAINING status), lets in-flight queries
+//     finish up to a timeout, then hard-cancels the stragglers. Every
+//     query — even a hard-canceled one — receives a terminal result frame
+//     before its connection is severed.
 package service
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"khuzdul/internal/cluster"
@@ -53,6 +64,10 @@ type Config struct {
 	// IOTimeout bounds each frame write to a client (default
 	// DefaultIOTimeout); a stalled client cannot pin a query goroutine.
 	IOTimeout time.Duration
+	// QueryDeadline caps every query's execution time. A submission's own
+	// deadline is honored up to this cap; queries without one inherit it.
+	// 0 means no server-side cap.
+	QueryDeadline time.Duration
 }
 
 // Defaults for Config's zero fields.
@@ -74,12 +89,25 @@ type Server struct {
 	budget int
 	nslots int // NumNodes × Sockets, for progress-sink preallocation
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	mu sync.Mutex
+	// conns maps each live connection to its query state (nil until the
+	// handshake completes); Drain's hard-cancel walks the states.
+	conns    map[net.Conn]*connState
+	draining bool
+
+	// qwg counts in-flight queries (one ticket per admitted submission,
+	// reserved under mu so Drain's wait cannot race a new admit).
+	qwg sync.WaitGroup
+	// drainKill is set when Drain gives up waiting and hard-cancels;
+	// queries canceled after that report a DRAINING detail.
+	drainKill atomic.Bool
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+	drainOnce sync.Once
+	drainDone chan struct{}
+	drainErr  error
 }
 
 // New starts a query server over cl. The cluster must outlive the server
@@ -114,16 +142,17 @@ func New(cl *cluster.Cluster, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: listen: %w", err)
 	}
 	s := &Server{
-		cl:     cl,
-		cfg:    cfg,
-		reg:    newRegistry(cl.Graph()),
-		met:    &metrics.Service{},
-		ln:     ln,
-		admit:  make(chan struct{}, cfg.MaxConcurrent),
-		budget: budget,
-		nslots: ccfg.NumNodes * ccfg.Sockets,
-		conns:  make(map[net.Conn]struct{}),
-		closed: make(chan struct{}),
+		cl:        cl,
+		cfg:       cfg,
+		reg:       newRegistry(cl.Graph()),
+		met:       &metrics.Service{},
+		ln:        ln,
+		admit:     make(chan struct{}, cfg.MaxConcurrent),
+		budget:    budget,
+		nslots:    ccfg.NumNodes * ccfg.Sockets,
+		conns:     make(map[net.Conn]*connState),
+		closed:    make(chan struct{}),
+		drainDone: make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -139,11 +168,70 @@ func (s *Server) Metrics() *metrics.Service { return s.met }
 // SummaryLine renders the service counters in the CLI summary style.
 func (s *Server) SummaryLine() string { return s.met.SummaryLine() }
 
-// Close stops accepting, severs every client connection (which cancels
-// their in-flight queries), and joins all server goroutines.
-func (s *Server) Close() error {
-	s.closeOnce.Do(func() { close(s.closed) })
+// Close shuts the server down immediately: it is Drain with a zero
+// timeout, so in-flight queries are hard-canceled right away — but each
+// still receives its terminal result frame (QueryCanceled with a DRAINING
+// detail) before its connection is severed, and all server goroutines are
+// joined before Close returns.
+func (s *Server) Close() error { return s.Drain(0) }
+
+// Drain shuts the server down gracefully: stop accepting connections,
+// reject new submissions with a retryable DRAINING status, wait up to
+// timeout for in-flight queries to finish, then hard-cancel whatever is
+// left. Hard-canceled queries still get a terminal result frame before
+// their connections are severed. Drain is idempotent — concurrent and
+// repeated calls share one shutdown and all block until it completes; the
+// first call's timeout wins.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.drainOnce.Do(func() {
+		s.drainErr = s.drain(timeout)
+		close(s.drainDone)
+	})
+	<-s.drainDone
+	return s.drainErr
+}
+
+func (s *Server) drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 	err := s.ln.Close()
+
+	// Let in-flight queries finish on their own, up to the timeout. The
+	// dispatch loops stay alive during the wait so clients can still cancel
+	// their queries and probe health.
+	finished := make(chan struct{})
+	go func() {
+		s.qwg.Wait()
+		close(finished)
+	}()
+	graceful := timeout > 0
+	if graceful {
+		t := time.NewTimer(timeout)
+		select {
+		case <-finished:
+		case <-t.C:
+			graceful = false
+		}
+		t.Stop()
+	}
+	if !graceful {
+		// Hard-cancel the stragglers. Their runQuery goroutines observe the
+		// cancel at the next range boundary, write the terminal result frame,
+		// and only then release their qwg ticket — so waiting on qwg below
+		// guarantees every client saw a final status before we sever.
+		s.drainKill.Store(true)
+		s.mu.Lock()
+		for _, st := range s.conns {
+			if st != nil {
+				st.cancelAll()
+			}
+		}
+		s.mu.Unlock()
+		<-finished
+	}
+
+	s.closeOnce.Do(func() { close(s.closed) })
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
@@ -166,12 +254,12 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.mu.Lock()
-		if chanClosed(s.closed) {
+		if s.draining || chanClosed(s.closed) {
 			s.mu.Unlock()
 			c.Close()
 			return
 		}
-		s.conns[c] = struct{}{}
+		s.conns[c] = nil
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.serveConn(c)
@@ -260,6 +348,11 @@ func (s *Server) serveConn(c net.Conn) {
 		return
 	}
 	st := &connState{qc: qc, active: make(map[uint32]chan struct{})}
+	s.mu.Lock()
+	if _, live := s.conns[c]; live {
+		s.conns[c] = st
+	}
+	s.mu.Unlock()
 dispatch:
 	for {
 		if chanClosed(s.closed) {
@@ -274,6 +367,9 @@ dispatch:
 			s.submit(st, m)
 		case *comm.QueryCancel:
 			st.cancelQuery(m.ID)
+		case *comm.QueryHealthProbe:
+			h := s.Health()
+			qc.WriteHealth(h.wire())
 		default:
 			// Clients must not send server-side frames; the connection's
 			// framing discipline is broken, so drop it.
@@ -289,6 +385,27 @@ dispatch:
 // goroutine, so per-connection submission order is preserved.
 func (s *Server) submit(st *connState, sub *comm.QuerySubmit) {
 	s.met.QueriesSubmitted.Add(1)
+	// Reserve the drain ticket under mu: once Drain sets draining it can
+	// wait on qwg knowing no further tickets will appear.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.QueriesRejected.Add(1)
+		st.qc.WriteResult(&comm.QueryResult{
+			ID:     sub.ID,
+			Status: comm.QueryRejected,
+			Detail: "DRAINING: server is shutting down; retry on another replica",
+		})
+		return
+	}
+	s.qwg.Add(1)
+	s.mu.Unlock()
+	launched := false
+	defer func() {
+		if !launched {
+			s.qwg.Done()
+		}
+	}()
 	select {
 	case s.admit <- struct{}{}:
 	default:
@@ -311,15 +428,30 @@ func (s *Server) submit(st *connState, sub *comm.QuerySubmit) {
 		})
 		return
 	}
+	launched = true
 	st.wg.Add(1)
 	sub2 := *sub
 	go s.runQuery(st, &sub2, cancel)
 }
 
-// runQuery executes one admitted query end to end: resolve the plan,
-// stream progress while the cluster runs it under this query's cancel
-// channel and worker budget, and deliver the terminal result.
+// deadlineFor resolves one submission's effective deadline: the client's
+// request, capped by the server-side Config.QueryDeadline (which also
+// applies to queries that asked for none). 0 means unbounded.
+func (s *Server) deadlineFor(sub *comm.QuerySubmit) time.Duration {
+	d := sub.Deadline
+	if s.cfg.QueryDeadline > 0 && (d == 0 || d > s.cfg.QueryDeadline) {
+		d = s.cfg.QueryDeadline
+	}
+	return d
+}
+
+// runQuery executes one admitted query end to end: resolve the plan, arm
+// the deadline, stream progress while the cluster runs it under this
+// query's cancel channel and worker budget, and deliver the terminal
+// result. The result frame is always written before the qwg ticket is
+// released, so Drain can guarantee clients a final status.
 func (s *Server) runQuery(st *connState, sub *comm.QuerySubmit, cancel chan struct{}) {
+	defer s.qwg.Done()
 	defer st.wg.Done()
 	defer func() { <-s.admit }()
 	defer st.finish(sub.ID)
@@ -329,6 +461,42 @@ func (s *Server) runQuery(st *connState, sub *comm.QuerySubmit, cancel chan stru
 	}
 	defer s.met.ActiveQueries.Add(-1)
 
+	// The deadline covers the query's whole server-side life — plan
+	// resolution, execution, and any crash-recovery rounds it triggers.
+	var deadlined atomic.Bool
+	deadline := s.deadlineFor(sub)
+	if deadline > 0 {
+		tm := time.AfterFunc(deadline, func() {
+			deadlined.Store(true)
+			st.cancelQuery(sub.ID)
+		})
+		defer tm.Stop()
+	}
+
+	// canceled classifies a cancellation after the fact: the deadline
+	// fired, drain hard-canceled us, or the client asked.
+	canceled := func(planID uint32, elapsed time.Duration) {
+		switch {
+		case deadlined.Load():
+			s.met.QueriesDeadlineExceeded.Add(1)
+			st.qc.WriteResult(&comm.QueryResult{
+				ID: sub.ID, Status: comm.QueryDeadlineExceeded, PlanID: planID,
+				Elapsed: elapsed, Detail: fmt.Sprintf("deadline %v exceeded", deadline),
+			})
+		case s.drainKill.Load():
+			s.met.QueriesCanceled.Add(1)
+			st.qc.WriteResult(&comm.QueryResult{
+				ID: sub.ID, Status: comm.QueryCanceled, PlanID: planID,
+				Elapsed: elapsed, Detail: "DRAINING: hard-canceled at drain timeout",
+			})
+		default:
+			s.met.QueriesCanceled.Add(1)
+			st.qc.WriteResult(&comm.QueryResult{
+				ID: sub.ID, Status: comm.QueryCanceled, PlanID: planID, Elapsed: elapsed,
+			})
+		}
+	}
+
 	planID, pl, err := s.reg.resolve(sub)
 	if err != nil {
 		s.met.QueriesFailed.Add(1)
@@ -336,8 +504,7 @@ func (s *Server) runQuery(st *connState, sub *comm.QuerySubmit, cancel chan stru
 		return
 	}
 	if chanClosed(cancel) {
-		s.met.QueriesCanceled.Add(1)
-		st.qc.WriteResult(&comm.QueryResult{ID: sub.ID, Status: comm.QueryCanceled, PlanID: planID})
+		canceled(planID, 0)
 		return
 	}
 
@@ -353,10 +520,7 @@ func (s *Server) runQuery(st *connState, sub *comm.QuerySubmit, cancel chan stru
 			Count: res.Count, Elapsed: elapsed,
 		})
 	case errors.Is(runErr, cluster.ErrRunCanceled):
-		s.met.QueriesCanceled.Add(1)
-		st.qc.WriteResult(&comm.QueryResult{
-			ID: sub.ID, Status: comm.QueryCanceled, PlanID: planID, Elapsed: elapsed,
-		})
+		canceled(planID, elapsed)
 	default:
 		s.met.QueriesFailed.Add(1)
 		st.qc.WriteResult(&comm.QueryResult{
@@ -392,6 +556,78 @@ func (s *Server) runPlan(st *connState, id uint32, pl *plan.Plan, cancel <-chan 
 	close(done)
 	pwg.Wait()
 	return res, err
+}
+
+// Health is a point-in-time snapshot of the server's fitness to serve:
+// whether it is draining, how loaded its admission window is, lifetime
+// counters, and which cluster nodes are currently suspected dead.
+type Health struct {
+	// Draining reports an in-progress graceful shutdown; new submissions
+	// are being rejected with a retryable DRAINING status.
+	Draining bool
+	// ActiveQueries is the number of queries executing right now.
+	ActiveQueries int
+	// Window is the admission window (Config.MaxConcurrent).
+	Window int
+	// Submitted and DeadlineExceeded are lifetime counters.
+	Submitted        uint64
+	DeadlineExceeded uint64
+	// SuspectNodes lists cluster nodes currently suspected dead (breaker
+	// declared or crash-injected), ascending. Queries keep completing —
+	// the cluster re-partitions dead shards onto survivors — but counts
+	// here persisting across probes mean degraded capacity.
+	SuspectNodes []int
+}
+
+// Health snapshots the server's current fitness.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	active := s.met.ActiveQueries.Load()
+	if active < 0 {
+		active = 0
+	}
+	return Health{
+		Draining:         draining,
+		ActiveQueries:    int(active),
+		Window:           s.cfg.MaxConcurrent,
+		Submitted:        s.met.QueriesSubmitted.Load(),
+		DeadlineExceeded: s.met.QueriesDeadlineExceeded.Load(),
+		SuspectNodes:     s.cl.DeadNodes(),
+	}
+}
+
+// wire renders the snapshot as its QUERY_HEALTH payload.
+func (h Health) wire() *comm.QueryHealth {
+	suspects := make([]uint32, len(h.SuspectNodes))
+	for i, n := range h.SuspectNodes {
+		suspects[i] = uint32(n)
+	}
+	return &comm.QueryHealth{
+		Draining:         h.Draining,
+		ActiveQueries:    uint32(h.ActiveQueries),
+		Window:           uint32(h.Window),
+		Submitted:        h.Submitted,
+		DeadlineExceeded: h.DeadlineExceeded,
+		Suspects:         suspects,
+	}
+}
+
+// fromWire converts a received QUERY_HEALTH payload back to a snapshot.
+func healthFromWire(w *comm.QueryHealth) Health {
+	suspects := make([]int, len(w.Suspects))
+	for i, n := range w.Suspects {
+		suspects[i] = int(n)
+	}
+	return Health{
+		Draining:         w.Draining,
+		ActiveQueries:    int(w.ActiveQueries),
+		Window:           int(w.Window),
+		Submitted:        w.Submitted,
+		DeadlineExceeded: w.DeadlineExceeded,
+		SuspectNodes:     suspects,
+	}
 }
 
 // streamProgress periodically sums the query's sink counters and streams

@@ -352,8 +352,11 @@ type (
 	// QueryOutcome is the terminal answer for one query.
 	QueryOutcome = service.Outcome
 	// ServeConfig tunes a QueryServer (address, admission window, worker
-	// budget, progress cadence).
+	// budget, progress cadence, per-query deadline cap).
 	ServeConfig = service.Config
+	// ServiceHealth is a point-in-time server fitness snapshot: drain
+	// state, admission load, and suspected-dead cluster nodes.
+	ServiceHealth = service.Health
 )
 
 // Query-result sentinel errors, re-exported so callers can errors.Is them
@@ -366,6 +369,12 @@ var (
 	ErrQueryCanceled = service.ErrCanceled
 	// ErrQueryFailed: the server could not compile or execute the query.
 	ErrQueryFailed = service.ErrQueryFailed
+	// ErrQueryDeadlineExceeded: the query's deadline fired before it
+	// finished; resubmit with a larger deadline.
+	ErrQueryDeadlineExceeded = service.ErrDeadlineExceeded
+	// ErrQueryDraining: the server is draining for shutdown; the query
+	// never started and is safe to resubmit elsewhere.
+	ErrQueryDraining = service.ErrDraining
 )
 
 // Serve starts a resident query server over the engine's cluster. The
