@@ -220,5 +220,9 @@ func Suite() []*Analyzer {
 		HotAlloc,
 		MapOrder,
 		CancelPoll,
+		LockOrder,
+		WireBound,
+		FrameCase,
+		MetricLive,
 	}
 }

@@ -117,6 +117,10 @@ func TestLockSend(t *testing.T)      { runFixtureTest(t, LockSend) }
 func TestHotAlloc(t *testing.T)      { runFixtureTest(t, HotAlloc) }
 func TestMapOrder(t *testing.T)      { runFixtureTest(t, MapOrder) }
 func TestCancelPoll(t *testing.T)    { runFixtureTest(t, CancelPoll) }
+func TestLockOrder(t *testing.T)     { runFixtureTest(t, LockOrder) }
+func TestWireBound(t *testing.T)     { runFixtureTest(t, WireBound) }
+func TestFrameCase(t *testing.T)     { runFixtureTest(t, FrameCase) }
+func TestMetricLive(t *testing.T)    { runFixtureTest(t, MetricLive) }
 
 // TestCallGraph pins the program construction the tier-2 analyzers rely on:
 // directive roots, interface-method over-approximation, reachability and the
@@ -219,6 +223,39 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 	if directive != 1 || sleep != 2 {
 		t.Errorf("got %d directive + %d sleepban diagnostics, want 1 + 2: %v", directive, sleep, diags)
+	}
+}
+
+// TestTier3Directives is the directive × analyzer matrix for the tier-3
+// analyzers: hotpath/longrun roots neither gate nor suppress them, a live
+// ignore suppresses exactly its wirebound finding, and stale ignores naming
+// each tier-3 analyzer are audited.
+func TestTier3Directives(t *testing.T) {
+	pkgs := fixtureSubset(t, "tier3dir")
+	diags := Run(pkgs, []*Analyzer{LockOrder, WireBound, FrameCase, MetricLive})
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+		if d.Analyzer == "staleignore" && strings.Contains(d.Message, "suppressed on purpose") {
+			t.Errorf("live wirebound suppression reported stale: %s", d)
+		}
+	}
+	want := map[string]int{
+		"lockorder":   1, // one cycle between the two hotpath roots
+		"framecase":   1, // non-exhaustive switch inside the longrun root
+		"metriclive":  1, // dead gauge in the metrics package
+		"wirebound":   0, // suppressed by the live ignore directive
+		"staleignore": 4, // one stale ignore per tier-3 analyzer
+	}
+	for a, n := range want {
+		if counts[a] != n {
+			t.Errorf("%s: got %d findings, want %d; all: %v", a, counts[a], n, diags)
+		}
+	}
+	for a := range counts {
+		if _, ok := want[a]; !ok {
+			t.Errorf("unexpected analyzer %q in diagnostics: %v", a, diags)
+		}
 	}
 }
 

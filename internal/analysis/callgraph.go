@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -46,6 +47,10 @@ const (
 // one Run: declarations, call edges, directive-marked roots, reachability
 // closures, and per-function summaries.
 type Program struct {
+	// Fset positions every loaded file; the loader shares one FileSet across
+	// packages, so cross-package positions (a lockorder acquisition path that
+	// spans comm and cluster) render correctly from any pass.
+	Fset *token.FileSet
 	// Decls maps every function and method object declared in the loaded
 	// packages to its syntax.
 	Decls map[*types.Func]*ast.FuncDecl
@@ -79,6 +84,10 @@ type Program struct {
 	// fixpoint over Callees.
 	polls  map[*types.Func]bool
 	blocks map[*types.Func]bool
+
+	// lockInfo is the tier-3 lock-acquisition graph of lockorder.go, built
+	// lazily on first use and shared by every pass of the Run.
+	lockInfo *lockGraphInfo
 }
 
 // BuildProgram constructs the call graph, reachability closures and function
@@ -92,6 +101,9 @@ func BuildProgram(pkgs []*LoadedPackage) *Program {
 		syncCallees: map[*types.Func][]*types.Func{},
 		Hot:         map[*types.Func]bool{},
 		Long:        map[*types.Func]bool{},
+	}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
 	}
 	// Phase 1: declarations and directive-marked roots.
 	type markedPkg struct{ hot, long bool }
@@ -206,6 +218,41 @@ func (p *Program) resolve(callee *types.Func, methodIndex map[string][]*types.Fu
 	var out []*types.Func
 	for _, cand := range methodIndex[callee.Name()] {
 		rt := recvOf(cand).Type()
+		if types.Implements(rt, iface) {
+			out = append(out, cand)
+			continue
+		}
+		if _, isPtr := rt.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(rt), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// implementations resolves a callee object to its declared implementations:
+// the object itself when the program declares it, or — for an interface
+// method — every declared concrete method implementing it, in DeclList
+// order (the same expansion the call-graph edges use, available after
+// BuildProgram to analyzers that resolve call sites themselves).
+func (p *Program) implementations(fn *types.Func) []*types.Func {
+	if _, ok := p.Decls[fn]; ok {
+		return []*types.Func{fn}
+	}
+	recv := recvOf(fn)
+	if recv == nil {
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, cand := range p.DeclList {
+		cr := recvOf(cand)
+		if cr == nil || cand.Name() != fn.Name() {
+			continue
+		}
+		rt := cr.Type()
 		if types.Implements(rt, iface) {
 			out = append(out, cand)
 			continue

@@ -148,31 +148,5 @@ func (c *cancelScanner) subtreePolls(body *ast.BlockStmt) bool {
 // or — for an interface method — every concrete method the program declares
 // for it (the same expansion the call graph uses).
 func (c *cancelScanner) targets(fn *types.Func) []*types.Func {
-	if _, ok := c.pass.Prog.Decls[fn]; ok {
-		return []*types.Func{fn}
-	}
-	recv := recvOf(fn)
-	if recv == nil {
-		return nil
-	}
-	iface, ok := recv.Type().Underlying().(*types.Interface)
-	if !ok {
-		return nil
-	}
-	var out []*types.Func
-	for _, cand := range c.pass.Prog.DeclList {
-		cr := recvOf(cand)
-		if cr == nil || cand.Name() != fn.Name() {
-			continue
-		}
-		rt := cr.Type()
-		if types.Implements(rt, iface) {
-			out = append(out, cand)
-			continue
-		}
-		if _, isPtr := rt.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(rt), iface) {
-			out = append(out, cand)
-		}
-	}
-	return out
+	return c.pass.Prog.implementations(fn)
 }

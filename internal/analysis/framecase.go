@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrameCase enforces exhaustiveness of frame-type dispatch. The wire
+// protocol's frame-type constants grew across three PRs (HELLO through
+// QUERY_HEALTH, 0x01–0x0F), and every switch that dispatches on them is a
+// place a newly-added type can silently fall through. A silent drop is how
+// connections poison: the peer waits for a reply that never comes, or the
+// reader desynchronizes from the stream.
+//
+// The rule: in a package that declares frame-type constants (package-level
+// `frame*` integer constants — internal/comm and fixture mirrors), any
+// switch whose cases name two or more of them must either cover every
+// declared value or carry a default that classifies the error — mentions an
+// Err* sentinel (ErrCorruptFrame, ErrVersionMismatch), counts it
+// (CorruptFrames), or answers with an error frame (frameError,
+// frameMuxError). Aliases (frameTypeMax) collapse by value, so bumping the
+// max does not demand an extra case.
+var FrameCase = &Analyzer{
+	Name: "framecase",
+	Doc: "switches over frame-type constants must handle every declared " +
+		"type or classify the unexpected one in an explicit default",
+	Run: runFrameCase,
+}
+
+func runFrameCase(pass *Pass) {
+	consts, declared := frameConstants(pass.Pkg)
+	if len(declared) < 3 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			covered := map[int64]bool{}
+			var defaultClause *ast.CaseClause
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, e := range cc.List {
+					// Match by constant object identity, not value: a
+					// QueryKind enum sharing small values with the frame
+					// types must not turn its switches into frame dispatch.
+					if v, ok := frameConstCase(pass.Info, e, consts); ok {
+						covered[v] = true
+					}
+				}
+			}
+			if len(covered) < 2 {
+				return true // not a frame-type dispatch
+			}
+			if len(covered) == len(declared) {
+				return true
+			}
+			missing := make([]string, 0, len(declared)-len(covered))
+			for v, name := range declared {
+				if !covered[v] {
+					missing = append(missing, name)
+				}
+			}
+			sort.Strings(missing)
+			if defaultClause == nil {
+				pass.Reportf(sw.Pos(),
+					"switch on frame type covers %d of %d declared types (missing %s) and has no default: an unexpected frame falls through silently",
+					len(covered), len(declared), strings.Join(missing, ", "))
+				return true
+			}
+			if !classifiesFrameError(defaultClause) {
+				pass.Reportf(defaultClause.Pos(),
+					"default discards an unexpected frame type silently: classify it (wrap ErrCorruptFrame, count CorruptFrames, or answer frameError) — missing cases: %s",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// frameConstants collects the package's frame-type constants: package-level
+// `frame<Upper>` integer constants in [1, 255]. The first return maps each
+// constant object to its value (for case matching by identity); the second
+// deduplicates by value with alias names (anything containing "Max")
+// dropped when a primary name exists, so frameTypeMax never demands a case
+// of its own.
+func frameConstants(pkg *types.Package) (map[*types.Const]int64, map[int64]string) {
+	consts := map[*types.Const]int64{}
+	byValue := map[int64]string{}
+	scope := pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.HasPrefix(name, "frame") || len(name) == len("frame") {
+			continue
+		}
+		r := name[len("frame")]
+		if r < 'A' || r > 'Z' {
+			continue
+		}
+		// Dimensional constants (frameHeaderSize) share the prefix but are
+		// measurements, not members of the type enum.
+		if strings.Contains(name, "Size") || strings.Contains(name, "Len") ||
+			strings.Contains(name, "Bytes") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok || v < 1 || v > 255 {
+			continue
+		}
+		consts[c] = v
+		prev, exists := byValue[v]
+		switch {
+		case !exists:
+			byValue[v] = name
+		case strings.Contains(prev, "Max") && !strings.Contains(name, "Max"):
+			byValue[v] = name
+		}
+	}
+	return consts, byValue
+}
+
+// frameConstCase resolves a case expression to a declared frame constant's
+// value, matching by object identity.
+func frameConstCase(info *types.Info, e ast.Expr, consts map[*types.Const]int64) (int64, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return 0, false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, ok := consts[c]
+	return v, ok
+}
+
+// classifiesFrameError reports whether a default clause visibly classifies
+// the unexpected frame: it references an Err* sentinel, a Corrupt* counter,
+// or an error frame constant.
+func classifiesFrameError(cc *ast.CaseClause) bool {
+	found := false
+	for _, st := range cc.Body {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			name := id.Name
+			if strings.HasPrefix(name, "Err") ||
+				strings.Contains(name, "Corrupt") ||
+				name == "frameError" || name == "frameMuxError" {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

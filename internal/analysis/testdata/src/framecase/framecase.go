@@ -1,0 +1,108 @@
+// Package framecase is the framecase fixture: a switch dispatching on the
+// declared frame-type constants must cover every declared value or classify
+// the unexpected frame in its default; exhaustive switches, classifying
+// defaults, single-constant switches, and value-colliding enums are the
+// legal near misses.
+package framecase
+
+import "errors"
+
+const (
+	frameHello = 0x01
+	frameData  = 0x02
+	frameAck   = 0x03
+	frameError = 0x04
+
+	// frameTypeMax aliases the highest value: collapsed by value, it never
+	// demands a case of its own.
+	frameTypeMax = frameError
+
+	// frameHeaderSize is dimensional, not a frame type: excluded from the
+	// declared set, so the exhaustive switch below stays exhaustive.
+	frameHeaderSize = 12
+)
+
+var ErrCorruptFrame = errors.New("corrupt frame")
+
+// dispatchExhaustive covers every declared type: no default needed.
+func dispatchExhaustive(t byte) int {
+	switch t {
+	case frameHello:
+		return 1
+	case frameData:
+		return 2
+	case frameAck:
+		return 3
+	case frameError:
+		return 4
+	}
+	return 0
+}
+
+// dispatchClassified misses frameAck but classifies the stranger: clean.
+func dispatchClassified(t byte) error {
+	switch t {
+	case frameHello, frameData, frameError:
+		return nil
+	default:
+		return ErrCorruptFrame
+	}
+}
+
+// dispatchNoDefault misses frameAck with no default: a new frame type walks
+// straight through.
+func dispatchNoDefault(t byte) int {
+	switch t { // want "covers 3 of 4 declared types .missing frameAck. and has no default"
+	case frameHello:
+		return 1
+	case frameData:
+		return 2
+	case frameError:
+		return 3
+	}
+	return 0
+}
+
+// dispatchSilentDefault drops the unexpected frame on the floor.
+func dispatchSilentDefault(t byte) int {
+	switch t {
+	case frameHello:
+		return 1
+	case frameData:
+		return 2
+	default: // want "default discards an unexpected frame type silently"
+		return 0
+	}
+}
+
+type queryKind int
+
+const (
+	kindCount queryKind = 1
+	kindList  queryKind = 2
+	kindTop   queryKind = 3
+)
+
+// kindSwitch shares small values with the frame constants, but object
+// identity keeps it out of frame dispatch: no finding despite covering only
+// three of its own enum.
+func kindSwitch(k queryKind) int {
+	switch k {
+	case kindCount:
+		return 1
+	case kindList:
+		return 2
+	case kindTop:
+		return 3
+	}
+	return 0
+}
+
+// oneCase names a single frame constant: a guard, not a dispatch.
+func oneCase(t byte) bool {
+	switch t {
+	case frameHello:
+		return true
+	}
+	return false
+}

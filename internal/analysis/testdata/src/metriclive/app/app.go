@@ -1,0 +1,29 @@
+// Package app increments and reads the fixture metrics from outside the
+// metrics package: liveness is whole-program, not per-package.
+package app
+
+import "metriclive/metrics"
+
+// Account writes the live counters.
+func Account(t *metrics.Transport, n int) {
+	t.BytesIn.Add(uint64(n))
+	t.Frames.Add(1)
+}
+
+// RecordPeak mutates through CompareAndSwap and reads through Load: both
+// directions covered for Peak.
+func RecordPeak(t *metrics.Transport, v int64) {
+	for {
+		cur := t.Peak.Load()
+		if v <= cur || t.Peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// EscapeResets takes the counter's address: the analysis loses track there
+// and conservatively treats Resets as both written and read.
+func EscapeResets(t *metrics.Transport) {
+	r := &t.Resets
+	r.Add(1)
+}

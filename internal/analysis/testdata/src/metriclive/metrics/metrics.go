@@ -1,0 +1,32 @@
+// Package metrics is the metriclive fixture's metrics package: every atomic
+// counter declared here must be written somewhere in the program and read
+// somewhere; the dead gauge and the write-only counter are flagged at their
+// declarations, while the reset-only Store(0) proves neither.
+package metrics
+
+import "sync/atomic"
+
+// Transport counts wire traffic for the fixture.
+type Transport struct {
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64 // want "declared but never incremented"
+	Frames   atomic.Uint64 // want "incremented but never surfaced"
+	Peak     atomic.Int64
+	Resets   atomic.Uint32
+
+	// Label is not an atomic integer: outside the analysis.
+	Label string
+}
+
+// Summary surfaces BytesIn.
+func (t *Transport) Summary() uint64 {
+	return t.BytesIn.Load()
+}
+
+// Reset stores zero everywhere: a reset is not a write, so it keeps neither
+// BytesOut nor Frames alive.
+func (t *Transport) Reset() {
+	t.BytesIn.Store(0)
+	t.BytesOut.Store(0)
+	t.Frames.Store(0)
+}

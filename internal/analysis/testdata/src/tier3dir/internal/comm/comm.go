@@ -1,0 +1,72 @@
+// Package comm is the tier-3 directive matrix fixture: hotpath/longrun roots
+// must not gate (or suppress) the tier-3 analyzers, a live ignore directive
+// must suppress exactly its finding, and stale ignores naming the tier-3
+// analyzers must be audited.
+package comm
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+const (
+	frameHello = 0x01
+	frameData  = 0x02
+	frameAck   = 0x03
+)
+
+type P struct{ mu sync.Mutex }
+type Q struct{ mu sync.Mutex }
+
+var p P
+var q Q
+
+// lockPQ and lockQP close a cycle between two hotpath roots: lockorder runs
+// everywhere, so the directives change nothing.
+//
+//khuzdulvet:hotpath tier3 matrix root
+func lockPQ() {
+	p.mu.Lock()
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+//khuzdulvet:hotpath tier3 matrix root
+func lockQP() {
+	q.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// dispatch is a longrun root with a non-exhaustive frame switch: framecase
+// fires inside root-marked functions just the same.
+//
+//khuzdulvet:longrun tier3 matrix root
+func dispatch(t byte) int {
+	switch t {
+	case frameHello:
+		return 1
+	case frameData:
+		return 2
+	}
+	return 0
+}
+
+// decodeSuppressed carries a live wirebound suppression: the finding is
+// silenced and the directive is not stale.
+func decodeSuppressed(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	//khuzdulvet:ignore wirebound tier3 matrix: suppressed on purpose
+	return make([]byte, n)
+}
+
+// fixedAll holds one stale ignore per comm-side tier-3 analyzer: the excused
+// findings no longer exist, so each directive is reported.
+func fixedAll() {
+	//khuzdulvet:ignore wirebound tier3 matrix: the decode was removed
+	//khuzdulvet:ignore lockorder tier3 matrix: the cycle was fixed
+	//khuzdulvet:ignore framecase tier3 matrix: the switch went exhaustive
+	_ = 0
+}

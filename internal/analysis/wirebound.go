@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// WireBound enforces the trust boundary on wire-decoded integers in
+// internal/comm: a length or count read off the socket with
+// binary.LittleEndian/BigEndian.UintN (or a readU32-style helper) is
+// attacker-controlled, and letting it size a `make`, an alloc helper, or a
+// loop bound turns one hostile frame into an out-of-memory or a CPU stall —
+// exactly what the QUERY_SUBMIT/HEALTH server surface must survive. HUGE's
+// bounded-memory guarantee is only real if no such value reaches an
+// allocation unclamped.
+//
+// Taint is tracked per function, per variable, in statement order: an
+// assignment whose right side contains a wire decode taints the target; a
+// clamp kills it. The recognized clamp is an `if` that magnitude-compares
+// the variable (<, <=, >, >=) and then returns (the `if n > maxFrameEntries
+// { return ErrCorruptFrame }` idiom) or reassigns it. An equality-shaped
+// length check (`if len(p) != fixed+4*n`) is NOT a clamp: it proves
+// consistency, not a bound, and still admits every length the frame cap
+// allows. Function literals and parameters are out of scope — the analysis
+// charges the function that performs the decode.
+var WireBound = &Analyzer{
+	Name: "wirebound",
+	Doc: "wire-decoded integers must be clamped against a constant cap " +
+		"before sizing allocations, slice reservations, or loop bounds",
+	Run: runWireBound,
+}
+
+func runWireBound(pass *Pass) {
+	if !pathHasSegments(pass.Pkg.Path(), "internal", "comm") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &wireBoundScanner{pass: pass, tainted: map[types.Object]bool{}}
+				w.scanStmts(fd.Body.List)
+			}
+		}
+	}
+}
+
+type wireBoundScanner struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+}
+
+// readHelperRE matches readU32-style decode helpers by name.
+var readHelperRE = regexp.MustCompile(`^read.*[Uu](?:int)?(?:8|16|32|64)$`)
+
+// wireDecodeCall reports whether call reads an integer off the wire: a
+// binary.LittleEndian/BigEndian UintN accessor, or a read*U<N> helper.
+func (w *wireBoundScanner) wireDecodeCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if strings.HasPrefix(name, "Uint") {
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if id, ok := inner.X.(*ast.Ident); ok &&
+				pkgOfIdent(w.pass.Info, id) == "encoding/binary" {
+				return true
+			}
+		}
+		return false
+	}
+	return readHelperRE.MatchString(name)
+}
+
+// exprTainted reports whether e contains a wire decode or a tainted
+// variable. Function literals are opaque.
+func (w *wireBoundScanner) exprTainted(e ast.Expr) bool {
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if w.wireDecodeCall(n) {
+				tainted = true
+				return false
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && readHelperRE.MatchString(id.Name) {
+				tainted = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := w.pass.Info.Uses[n]; obj != nil && w.tainted[obj] {
+				tainted = true
+				return false
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+func (w *wireBoundScanner) scanStmts(list []ast.Stmt) {
+	for _, st := range list {
+		w.scanStmt(st)
+	}
+}
+
+func (w *wireBoundScanner) scanStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		w.checkExprs(st.Rhs)
+		if len(st.Lhs) == len(st.Rhs) {
+			for i, lhs := range st.Lhs {
+				w.assign(lhs, w.exprTainted(st.Rhs[i]))
+			}
+		} else if len(st.Rhs) == 1 {
+			// n, err := decode(...): one source taints every target.
+			t := w.exprTainted(st.Rhs[0])
+			for _, lhs := range st.Lhs {
+				w.assign(lhs, t)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				w.checkExprs(vs.Values)
+				for i, name := range vs.Names {
+					t := false
+					if i < len(vs.Values) {
+						t = w.exprTainted(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						t = w.exprTainted(vs.Values[0])
+					}
+					if obj := w.pass.Info.Defs[name]; obj != nil {
+						w.tainted[obj] = t
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init)
+		}
+		killed := w.clampKills(st)
+		w.checkExpr(st.Cond)
+		w.scanStmts(st.Body.List)
+		if st.Else != nil {
+			w.scanStmt(st.Else)
+		}
+		for _, obj := range killed {
+			w.tainted[obj] = false
+		}
+	case *ast.ExprStmt:
+		w.checkExpr(st.X)
+	case *ast.ReturnStmt:
+		w.checkExprs(st.Results)
+	case *ast.SendStmt:
+		w.checkExpr(st.Value)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.checkLoopBound(st.Cond, st.Pos())
+		}
+		w.scanStmts(st.Body.List)
+	case *ast.RangeStmt:
+		w.checkExpr(st.X)
+		w.scanStmts(st.Body.List)
+	case *ast.BlockStmt:
+		w.scanStmts(st.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.scanStmt(st.Init)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.scanStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.scanStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.scanStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.scanStmt(st.Stmt)
+	}
+}
+
+// assign updates the taint of an assignment target.
+func (w *wireBoundScanner) assign(lhs ast.Expr, tainted bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := w.pass.Info.Defs[id]
+	if obj == nil {
+		obj = w.pass.Info.Uses[id]
+	}
+	if obj != nil {
+		w.tainted[obj] = tainted
+	}
+}
+
+// clampKills recognizes the sanctioned validation shape on an if statement
+// and returns the variables it clamps: the condition magnitude-compares a
+// tainted variable and the body either returns (reject path) or reassigns
+// the variable (saturate path).
+func (w *wireBoundScanner) clampKills(st *ast.IfStmt) []types.Object {
+	var compared []types.Object
+	ast.Inspect(st.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.GTR, token.GEQ, token.LSS, token.LEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := w.pass.Info.Uses[id]; obj != nil && w.tainted[obj] {
+						compared = append(compared, obj)
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if len(compared) == 0 {
+		return nil
+	}
+	exits := false
+	assigned := map[types.Object]bool{}
+	ast.Inspect(st.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			exits = true
+		case *ast.CallExpr:
+			if isBuiltinCall(w.pass.Info, n, "panic") {
+				exits = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := w.pass.Info.Uses[id]; obj != nil {
+						assigned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var killed []types.Object
+	for _, obj := range compared {
+		if exits || assigned[obj] {
+			killed = append(killed, obj)
+		}
+	}
+	return killed
+}
+
+// checkExprs / checkExpr flag tainted values reaching sinks: make sizes and
+// capacities, alloc-named helpers, and (via checkLoopBound) loop bounds.
+func (w *wireBoundScanner) checkExprs(list []ast.Expr) {
+	for _, e := range list {
+		w.checkExpr(e)
+	}
+}
+
+func (w *wireBoundScanner) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltinCall(w.pass.Info, call, "make") {
+			for _, arg := range call.Args[1:] {
+				if w.exprTainted(arg) {
+					w.pass.Reportf(call.Pos(),
+						"make sized by a wire-decoded integer with no bound check: clamp it against a constant cap (and return a classified ErrCorruptFrame) first")
+					break
+				}
+			}
+			return true
+		}
+		if name := calledName(call); allocSinkName(name) {
+			for _, arg := range call.Args {
+				if w.exprTainted(arg) {
+					w.pass.Reportf(call.Pos(),
+						"%s called with a wire-decoded integer with no bound check: clamp it against a constant cap first", name)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLoopBound flags a for-loop condition bounded by a tainted value: the
+// loop trip count becomes attacker-controlled.
+func (w *wireBoundScanner) checkLoopBound(cond ast.Expr, pos token.Pos) {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+		default:
+			return true
+		}
+		if w.exprTainted(be.X) || w.exprTainted(be.Y) {
+			found = true
+		}
+		return false
+	})
+	if found {
+		w.pass.Reportf(pos,
+			"loop bounded by a wire-decoded integer with no bound check: clamp it against a constant cap before iterating")
+	}
+	w.checkExpr(cond)
+}
+
+// allocSinkName matches helper names whose argument sizes an allocation
+// (alloc, freshPayload, growBuf, reserve...).
+func allocSinkName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "alloc") || strings.Contains(l, "payload") ||
+		strings.Contains(l, "grow") || strings.Contains(l, "reserve")
+}

@@ -698,31 +698,10 @@ func (c *Cluster) CountAll(pls []*plan.Plan) ([]Result, Result, error) {
 		combined.Count += r.Count
 		combined.Elapsed += r.Elapsed
 		combined.ModeledElapsed += r.ModeledElapsed
-		combined.Summary.BytesSent += r.Summary.BytesSent
-		combined.Summary.Messages += r.Summary.Messages
-		combined.Summary.Fetches += r.Summary.Fetches
-		combined.Summary.RemoteFetches += r.Summary.RemoteFetches
-		combined.Summary.CacheHits += r.Summary.CacheHits
-		combined.Summary.CacheMisses += r.Summary.CacheMisses
-		combined.Summary.HDSHits += r.Summary.HDSHits
-		combined.Summary.VerticalHits += r.Summary.VerticalHits
-		combined.Summary.Extensions += r.Summary.Extensions
-		combined.Summary.Matches += r.Summary.Matches
-		combined.Summary.FetchRetries += r.Summary.FetchRetries
-		combined.Summary.FetchTimeouts += r.Summary.FetchTimeouts
-		combined.Summary.BreakerTrips += r.Summary.BreakerTrips
-		combined.Summary.FaultsInjected += r.Summary.FaultsInjected
-		combined.Summary.RecoveredRoots += r.Summary.RecoveredRoots
-		combined.Summary.CorruptFrames += r.Summary.CorruptFrames
-		combined.Summary.Redials += r.Summary.Redials
-		combined.Summary.HeartbeatMisses += r.Summary.HeartbeatMisses
-		combined.Summary.NodesSuspected += r.Summary.NodesSuspected
-		combined.Summary.SpeculativeRanges += r.Summary.SpeculativeRanges
-		combined.Summary.SpeculationWins += r.Summary.SpeculationWins
-		combined.Summary.PipelinedFetches += r.Summary.PipelinedFetches
-		if r.Summary.InFlightPeak > combined.Summary.InFlightPeak {
-			combined.Summary.InFlightPeak = r.Summary.InFlightPeak
-		}
+		// Summary.Merge owns the per-field combination rule (counters add,
+		// peaks max): the hand-rolled list this replaces had silently
+		// dropped the NUMA counters, PeakEmbeddings and the breakdown.
+		combined.Summary.Merge(r.Summary)
 		combined.RecoveryRounds += r.RecoveryRounds
 		combined.DeadNodes = unionNodes(combined.DeadNodes, r.DeadNodes)
 	}

@@ -89,6 +89,14 @@ func corpusSeeds() map[string]map[string][]byte {
 		encodeQueryHealth(nil, &QueryHealth{Window: 4, Suspects: []uint32{2}})[:queryHealthFixed])
 	healthTruncated := frame(ProtoVersionMux, frameQueryHealth,
 		encodeQueryHealth(nil, &QueryHealth{Window: 4})[:queryHealthFixed-5])
+	// Self-consistent report announcing more suspects than the cap: the
+	// length prefix is honest, so only the maxHealthSuspects clamp rejects it.
+	oversized := make([]uint32, maxHealthSuspects+1)
+	for i := range oversized {
+		oversized[i] = uint32(i)
+	}
+	healthOversizedSuspects := frame(ProtoVersionMux, frameQueryHealth,
+		encodeQueryHealth(nil, &QueryHealth{Window: 4, Suspects: oversized}))
 
 	listsTruncated := append([]byte(nil), lists[:len(lists)-2]...)
 	listsLyingLen := binary.LittleEndian.AppendUint32(
@@ -128,6 +136,8 @@ func corpusSeeds() map[string]map[string][]byte {
 			"valid-query-health-report": queryHealthReport,
 			"query-health-lying-len":    healthLyingSuspects,
 			"query-health-truncated":    healthTruncated,
+
+			"query-health-oversized-suspects": healthOversizedSuspects,
 		},
 		"FuzzReadIDs": {
 			"valid-empty":    encodeIDs(nil, nil),

@@ -70,8 +70,18 @@ const (
 	// maxFramePayload bounds the announced payload length before any
 	// allocation happens: a corrupt length field must become an error, not a
 	// multi-gigabyte read.
-	maxFramePayload = 1 << 29
+	maxFramePayload = MaxWireLen
 )
+
+// MaxWireLen is the single ceiling every server-side wire-length decode is
+// clamped against: no length or count read off the socket may admit more
+// than this many bytes into one allocation. The frame payload cap equals it
+// directly; entry-count caps derive from it by element width
+// (maxFrameEntries); the tighter string and suspect-list caps in query.go
+// refine it for fields that are semantically tiny. Every violation surfaces
+// as an ErrCorruptFrame-classified error, so callers retry on a fresh
+// connection instead of OOM-ing on a hostile peer.
+const MaxWireLen = 1 << 29
 
 // Frame types.
 const (

@@ -395,8 +395,16 @@ read:
 				}
 			}()
 		default:
+			// Declared frame type, wrong plane (a serial REQUEST on a v3
+			// stream, a query frame on the data port). Classify the
+			// violation — count it and answer frameError — before
+			// abandoning the stream, so the peer fails loudly.
 			putPayloadBuf(payload)
-			break read // protocol violation
+			if t.m != nil {
+				t.m.Nodes[node].CorruptFrames.Add(1)
+			}
+			respq <- resp{typ: frameError}
+			break read
 		}
 	}
 	workers.Wait()

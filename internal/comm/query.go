@@ -73,6 +73,10 @@ const (
 	maxQuerySpec = 1 << 12
 	// maxQueryDetail bounds the result detail string likewise.
 	maxQueryDetail = 1 << 12
+	// maxHealthSuspects bounds the QUERY_HEALTH suspect list. The count
+	// travels as a u16, but a cluster has a few dozen nodes, not thousands:
+	// a report announcing more is corrupt, not informative.
+	maxHealthSuspects = 1 << 12
 
 	querySubmitFixed = 21 // u32 ID + kind + system + flags + u32 planID + u64 deadlineNS + u16 specLen
 	queryResultFixed = 27 // u32 ID + status + u32 planID + u64 count + u64 elapsedNS + u16 detailLen
@@ -332,6 +336,9 @@ func decodeQueryHealth(p []byte) (QueryHealth, error) {
 		return QueryHealth{}, fmt.Errorf("comm: query health state %#02x: %w", p[0], ErrCorruptFrame)
 	}
 	n := int(binary.LittleEndian.Uint16(p[25:]))
+	if n > maxHealthSuspects {
+		return QueryHealth{}, fmt.Errorf("comm: query health announces %d suspects (max %d): %w", n, maxHealthSuspects, ErrCorruptFrame)
+	}
 	if len(p) != queryHealthFixed+4*n {
 		return QueryHealth{}, fmt.Errorf("comm: query health announces %d suspects in %d payload bytes: %w", n, len(p), ErrCorruptFrame)
 	}
@@ -549,7 +556,14 @@ func (q *QueryConn) WriteHealthProbe() error {
 	return q.writeMsg(frameQueryHealth, func(b []byte) []byte { return b })
 }
 
-// WriteHealth sends a QUERY_HEALTH report (server side).
+// WriteHealth sends a QUERY_HEALTH report (server side). A suspect list
+// beyond the decode cap is trimmed — the mirror of WriteResult's detail
+// trimming — so this side never emits a frame its peer must reject.
 func (q *QueryConn) WriteHealth(h *QueryHealth) error {
+	if len(h.Suspects) > maxHealthSuspects {
+		trimmed := *h
+		trimmed.Suspects = h.Suspects[:maxHealthSuspects]
+		h = &trimmed
+	}
 	return q.writeMsg(frameQueryHealth, func(b []byte) []byte { return encodeQueryHealth(b, h) })
 }

@@ -32,9 +32,10 @@ const serverBufRetain = 1 << 20
 // maxFrameEntries bounds the u32 count prefixes of the wire format. A
 // corrupt or truncated frame can announce up to 2^32-1 entries; accepting
 // that would attempt a multi-gigabyte allocation before the stream even
-// fails. 1<<26 entries (256 MiB of vertex IDs) is far beyond any real
-// request or hub list.
-const maxFrameEntries = 1 << 26
+// fails. Derived from MaxWireLen at 8 bytes per entry (a vertex ID plus
+// slice overhead): 1<<26 entries is far beyond any real request or hub
+// list.
+const maxFrameEntries = MaxWireLen / 8
 
 // TCP is a loopback-socket fabric: each simulated machine runs a responder
 // listening on 127.0.0.1, and every exchange travels in integrity-checked
@@ -282,8 +283,19 @@ func (t *TCP) serveSerial(node int, c net.Conn, r *bufio.Reader, w *bufio.Writer
 				return
 			}
 		default:
+			// The frame passed the integrity checks, so the type is declared
+			// but has no business on a serial data-plane exchange (a query
+			// frame on the wrong port, a mux frame on a v1/v2 connection).
+			// Classify the violation — count it and answer frameError — so
+			// the peer sees a protocol error instead of a silent close.
 			putPayloadBuf(payload)
-			return // protocol violation
+			if t.m != nil {
+				t.m.Nodes[node].CorruptFrames.Add(1)
+			}
+			t.deadline(c.SetWriteDeadline)
+			writeFrame(w, version, frameError, nil, -1)
+			w.Flush()
+			return
 		}
 	}
 }

@@ -1,0 +1,192 @@
+package comm
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"khuzdul/internal/graph"
+	"khuzdul/internal/leakcheck"
+	"khuzdul/internal/metrics"
+	"khuzdul/internal/partition"
+)
+
+// dialHandshake raw-dials a fabric listener and runs the client half of the
+// version negotiation with the given ceiling, returning the framed
+// connection and the negotiated version.
+func dialHandshake(t *testing.T, addr string, maxVer uint8) (net.Conn, *bufio.Reader, *bufio.Writer, uint8) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(c)
+	w := bufio.NewWriter(c)
+	if err := writeFrame(w, ProtoVersionMin, frameHello, encodeHello(ProtoVersionMin, maxVer, 0), -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(r, 0)
+	if err != nil || typ != frameHelloAck || len(payload) != 1 {
+		c.Close()
+		t.Fatalf("handshake: typ %#02x payload %d err %v", typ, len(payload), err)
+	}
+	return c, r, w, payload[0]
+}
+
+// TestServeSerialRejectsUnexpectedFrameType: a frame whose type is declared
+// but has no business on a serial data-plane exchange must come back as an
+// explicit frameError (and count as a corrupt frame), not a silent close.
+func TestServeSerialRejectsUnexpectedFrameType(t *testing.T) {
+	leakcheck.Check(t)
+	g := graph.Path(8)
+	asg := partition.NewAssignment(2, 1)
+	m := metrics.NewCluster(2)
+	f, err := NewTCP(testServers(g, asg), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	c, r, w, version := dialHandshake(t, f.addrs[1], ProtoVersionSerialMax)
+	defer c.Close()
+	if version != ProtoVersionSerialMax {
+		t.Fatalf("negotiated version %d, want %d", version, ProtoVersionSerialMax)
+	}
+	if err := writeFrame(w, version, frameQuerySubmit, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, _, err := readFrame(r, version)
+	if err != nil {
+		t.Fatalf("server hung up without classifying the violation: %v", err)
+	}
+	if typ != frameError {
+		t.Fatalf("got frame %#02x, want frameError", typ)
+	}
+	if m.Nodes[1].CorruptFrames.Load() == 0 {
+		t.Fatal("protocol violation not accounted as a corrupt frame")
+	}
+}
+
+// TestServeMuxRejectsUnexpectedFrameType is the v3 twin: a serial REQUEST on
+// a multiplexed stream is a protocol violation the server must answer with
+// frameError before abandoning the connection.
+func TestServeMuxRejectsUnexpectedFrameType(t *testing.T) {
+	leakcheck.Check(t)
+	g := graph.Path(8)
+	asg := partition.NewAssignment(2, 1)
+	m := metrics.NewCluster(2)
+	f, err := NewTCP(testServers(g, asg), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	c, r, w, version := dialHandshake(t, f.addrs[1], ProtoVersionMax)
+	defer c.Close()
+	if version < ProtoVersionMux {
+		t.Fatalf("negotiated version %d, want ≥ %d", version, ProtoVersionMux)
+	}
+	if err := writeFrame(w, version, frameRequest, nil, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, _, err := readFrame(r, version)
+	if err != nil {
+		t.Fatalf("server hung up without classifying the violation: %v", err)
+	}
+	if typ != frameError {
+		t.Fatalf("got frame %#02x, want frameError", typ)
+	}
+	if m.Nodes[1].CorruptFrames.Load() == 0 {
+		t.Fatal("protocol violation not accounted as a corrupt frame")
+	}
+}
+
+// TestDecodeQueryHealthSuspectCap: a health report announcing more suspects
+// than maxHealthSuspects is corrupt even when its length field is internally
+// consistent — the count must be clamped, not just cross-checked.
+func TestDecodeQueryHealthSuspectCap(t *testing.T) {
+	h := &QueryHealth{ActiveQueries: 1, Window: 4, Submitted: 9}
+	h.Suspects = make([]uint32, maxHealthSuspects+1)
+	for i := range h.Suspects {
+		h.Suspects[i] = uint32(i + 1) // strictly ascending, so only the cap rejects it
+	}
+	p := encodeQueryHealth(nil, h)
+	if _, err := decodeQueryHealth(p); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("oversized suspect list decoded: err = %v", err)
+	}
+
+	h.Suspects = h.Suspects[:maxHealthSuspects]
+	p = encodeQueryHealth(nil, h)
+	got, err := decodeQueryHealth(p)
+	if err != nil {
+		t.Fatalf("at-cap suspect list rejected: %v", err)
+	}
+	if len(got.Suspects) != maxHealthSuspects {
+		t.Fatalf("round-trip kept %d suspects, want %d", len(got.Suspects), maxHealthSuspects)
+	}
+}
+
+// TestWriteHealthTrimsSuspects: the server side never emits a report its
+// peer must reject — an over-cap suspect list is trimmed on write, the
+// mirror of WriteResult's detail trimming.
+func TestWriteHealthTrimsSuspects(t *testing.T) {
+	leakcheck.Check(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer c.Close()
+		qc, err := AcceptQuery(c, time.Second)
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		h := &QueryHealth{}
+		h.Suspects = make([]uint32, maxHealthSuspects+100)
+		for i := range h.Suspects {
+			h.Suspects[i] = uint32(i + 1)
+		}
+		srvErr <- qc.WriteHealth(h)
+	}()
+
+	qc, err := DialQuery(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	msg, err := qc.ReadMsg()
+	if err != nil {
+		t.Fatalf("trimmed health report did not decode: %v", err)
+	}
+	h, ok := msg.(*QueryHealth)
+	if !ok {
+		t.Fatalf("expected *QueryHealth, got %#v", msg)
+	}
+	if len(h.Suspects) != maxHealthSuspects {
+		t.Fatalf("received %d suspects, want the cap %d", len(h.Suspects), maxHealthSuspects)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+}

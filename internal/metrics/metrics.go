@@ -186,7 +186,11 @@ func (c *Cluster) Reset() {
 
 // Summary holds cluster-wide totals.
 type Summary struct {
-	BytesSent          uint64
+	BytesSent uint64
+	// BytesReceived mirrors BytesSent from the receiver's side; the two
+	// agree for intra-cluster traffic but diverge under node loss (bytes
+	// sent to a dead peer are never received).
+	BytesReceived      uint64
 	Messages           uint64
 	Fetches            uint64
 	RemoteFetches      uint64
@@ -224,6 +228,7 @@ func (c *Cluster) Summarize() Summary {
 	var s Summary
 	for _, n := range c.Nodes {
 		s.BytesSent += n.BytesSent.Load()
+		s.BytesReceived += n.BytesReceived.Load()
 		s.Messages += n.Messages.Load()
 		s.Fetches += n.Fetches.Load()
 		s.RemoteFetches += n.RemoteFetches.Load()
@@ -260,6 +265,48 @@ func (c *Cluster) Summarize() Summary {
 		s.Breakdown.Cache += b.Cache
 	}
 	return s
+}
+
+// Merge folds another summary into s: counters add, peaks take the maximum,
+// and the breakdown accumulates. This is the multi-run combination rule
+// (CountAll and the motif harness) — peaks are high-water marks of
+// concurrent usage, and sequential runs do not stack their concurrency.
+func (s *Summary) Merge(o Summary) {
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.Messages += o.Messages
+	s.Fetches += o.Fetches
+	s.RemoteFetches += o.RemoteFetches
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.HDSHits += o.HDSHits
+	s.VerticalHits += o.VerticalHits
+	s.Extensions += o.Extensions
+	s.Matches += o.Matches
+	s.CrossSocketFetches += o.CrossSocketFetches
+	s.CrossSocketBytes += o.CrossSocketBytes
+	s.FetchRetries += o.FetchRetries
+	s.FetchTimeouts += o.FetchTimeouts
+	s.BreakerTrips += o.BreakerTrips
+	s.FaultsInjected += o.FaultsInjected
+	s.RecoveredRoots += o.RecoveredRoots
+	s.CorruptFrames += o.CorruptFrames
+	s.Redials += o.Redials
+	s.HeartbeatMisses += o.HeartbeatMisses
+	s.NodesSuspected += o.NodesSuspected
+	s.SpeculativeRanges += o.SpeculativeRanges
+	s.SpeculationWins += o.SpeculationWins
+	s.PipelinedFetches += o.PipelinedFetches
+	if o.InFlightPeak > s.InFlightPeak {
+		s.InFlightPeak = o.InFlightPeak
+	}
+	if o.PeakEmbeddings > s.PeakEmbeddings {
+		s.PeakEmbeddings = o.PeakEmbeddings
+	}
+	s.Breakdown.Compute += o.Breakdown.Compute
+	s.Breakdown.Network += o.Breakdown.Network
+	s.Breakdown.Scheduler += o.Breakdown.Scheduler
+	s.Breakdown.Cache += o.Breakdown.Cache
 }
 
 // Service aggregates the query-service counters: the admission controller's
