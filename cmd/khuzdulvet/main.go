@@ -10,6 +10,7 @@
 //	go run ./cmd/khuzdulvet ./...
 //	go run ./cmd/khuzdulvet -json ./...
 //	go run ./cmd/khuzdulvet -list
+//	go run ./cmd/khuzdulvet -run lockorder,guardfield ./...
 //	go run ./cmd/khuzdulvet ./internal/comm/... ./internal/cluster
 //
 // Exit status is 0 when the tree is clean, 1 when findings (including
@@ -21,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,17 +40,26 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// jsonTiming is the -json per-analyzer timing line, emitted after the
+// findings. It has no "file" key, so the CI problem matcher skips it; the
+// slowest-analyzers CI step selects on "elapsed_ms".
+type jsonTiming struct {
+	Analyzer  string  `json:"analyzer"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("khuzdulvet", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzer suite and exit")
 	jsonOut := flags.Bool("json", false, "emit one JSON object per finding (for CI problem matchers)")
+	runNames := flags.String("run", "", "comma-separated analyzer names to run (default: the whole suite)")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: khuzdulvet [-list] [-json] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: khuzdulvet [-list] [-json] [-run a,b,c] [packages]\n\n")
 		fmt.Fprintf(stderr, "Runs the Khuzdul invariant analyzers over the enclosing module.\n")
 		fmt.Fprintf(stderr, "Package patterns are directory-based (./..., ./internal/comm/...).\n\n")
 		flags.PrintDefaults()
@@ -60,9 +71,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	suite := analysis.Suite()
 	if *list {
 		for _, a := range suite {
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s tier %d  %s\n", a.Name, a.Tier, a.Doc)
 		}
 		return 0
+	}
+	suite, err := selectAnalyzers(suite, *runNames)
+	if err != nil {
+		fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
@@ -86,7 +102,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, suite)
+	diags, timings := analysis.RunTimed(pkgs, suite)
 	stale := 0
 	for _, d := range diags {
 		d = rel(cwd, d)
@@ -110,6 +126,19 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+	if *jsonOut {
+		for _, tm := range timings {
+			line, err := json.Marshal(jsonTiming{
+				Analyzer:  tm.Name,
+				ElapsedMs: float64(tm.Elapsed.Microseconds()) / 1000,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "khuzdulvet: %v\n", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(line))
+		}
+	}
 	if len(diags) > 0 {
 		if stale > 0 {
 			fmt.Fprintf(stderr, "khuzdulvet: %d finding(s), including %d stale ignore directive(s) that no longer suppress anything\n", len(diags), stale)
@@ -119,6 +148,43 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers keeps the analyzers named in the comma-separated spec,
+// preserving suite order. An empty spec selects the whole suite; a name the
+// suite does not carry is an error, not a silent no-op.
+func selectAnalyzers(suite []*analysis.Analyzer, spec string) ([]*analysis.Analyzer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return suite, nil
+	}
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		known := false
+		for _, a := range suite {
+			if a.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown analyzer %q; -list names the suite", name)
+		}
+		wanted[name] = true
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if wanted[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
 }
 
 // filterPackages keeps the packages matching the directory-based patterns.

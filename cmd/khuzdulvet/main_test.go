@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"khuzdul/internal/analysis"
+)
+
+// TestSelectAnalyzers pins the -run filter: suite order is preserved,
+// duplicates collapse, whitespace is tolerated, and unknown names are
+// rejected rather than silently skipped.
+func TestSelectAnalyzers(t *testing.T) {
+	suite := analysis.Suite()
+
+	all, err := selectAnalyzers(suite, "")
+	if err != nil || len(all) != len(suite) {
+		t.Fatalf("empty spec: got %d analyzers, err %v; want the full suite", len(all), err)
+	}
+
+	got, err := selectAnalyzers(suite, " timerstop, lockorder ,timerstop")
+	if err != nil {
+		t.Fatalf("selectAnalyzers: %v", err)
+	}
+	var names []string
+	for _, a := range got {
+		names = append(names, a.Name)
+	}
+	// Suite order, not spec order: lockorder (tier 3) precedes timerstop.
+	if strings.Join(names, ",") != "lockorder,timerstop" {
+		t.Fatalf("got %v, want [lockorder timerstop]", names)
+	}
+
+	if _, err := selectAnalyzers(suite, "lockorder,nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("unknown analyzer: got err %v, want it named", err)
+	}
+	if _, err := selectAnalyzers(suite, " , "); err == nil {
+		t.Fatalf("blank spec items must not select an empty set silently")
+	}
+}
+
+// TestRunListAndFilter drives the CLI entry point end to end: -list prints
+// every analyzer with its tier, -run with an unknown name exits 2, and a
+// filtered -json run over the real tree is clean and carries exactly one
+// timing line per selected analyzer.
+func TestRunListAndFilter(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d, stderr %q", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(analysis.Suite()) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(analysis.Suite()), out.String())
+	}
+	for _, a := range analysis.Suite() {
+		want := fmt.Sprintf("tier %d", a.Tier)
+		found := false
+		for _, l := range lines {
+			if strings.HasPrefix(l, a.Name) && strings.Contains(l, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("-list is missing %q with %q:\n%s", a.Name, want, out.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-run", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("-run nosuch exit = %d, want 2; stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "nosuch") {
+		t.Fatalf("-run nosuch stderr does not name the analyzer: %q", errOut.String())
+	}
+
+	if testing.Short() {
+		t.Skip("skipping whole-module load in short mode")
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-json", "-run", "wirecodec,sleepban"}, &out, &errOut); code != 0 {
+		t.Fatalf("filtered run exit = %d, stderr %q, stdout %q", code, errOut.String(), out.String())
+	}
+	var timings []jsonTiming
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		var tm jsonTiming
+		if err := json.Unmarshal(sc.Bytes(), &tm); err != nil {
+			t.Fatalf("bad -json line %q: %v", sc.Text(), err)
+		}
+		if tm.ElapsedMs < 0 {
+			t.Errorf("negative elapsed for %q: %v", tm.Analyzer, tm.ElapsedMs)
+		}
+		timings = append(timings, tm)
+	}
+	if len(timings) != 2 || timings[0].Analyzer != "wirecodec" || timings[1].Analyzer != "sleepban" {
+		t.Fatalf("timing lines = %+v, want wirecodec then sleepban", timings)
+	}
+}

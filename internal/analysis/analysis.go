@@ -24,12 +24,18 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer checks one invariant over one package at a time.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	Name string
+	// Tier is the suite generation the analyzer shipped with: 1 for the
+	// single-package AST analyzers, 2 for the call-graph dataflow analyzers,
+	// 3 for the whole-program protocol analyzers, 4 for the
+	// concurrency-integrity analyzers.
+	Tier int
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
 	// Run inspects pass and reports findings through pass.Reportf.
@@ -146,8 +152,27 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 // are left alone — a single-analyzer run must not condemn the others'
 // directives.
 func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// A Timing is one analyzer's accumulated wall-clock cost across every
+// package of one RunTimed. Lazily-built whole-program fact bases (the lock
+// graph, the guard inference tables) are attributed to whichever analyzer
+// touches them first, so the first tier-3/4 analyzer in suite order carries
+// the shared construction cost.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings, returned in suite
+// order so the CLI's -json output (and the CI slowest-analyzers step) can
+// keep suite growth observable.
+func RunTimed(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	prog := BuildProgram(pkgs)
 	running := map[string]bool{}
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		running[a.Name] = true
 	}
@@ -155,7 +180,7 @@ func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
 		dirs := collectDirectives(pkg.Fset, pkg.Files, &diags)
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -165,7 +190,9 @@ func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
 				Prog:     prog,
 				diags:    &diags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[i] += time.Since(start)
 		}
 		used := make([]bool, len(dirs))
 		for _, d := range diags {
@@ -205,11 +232,16 @@ func Run(pkgs []*LoadedPackage, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return all
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = Timing{Name: a.Name, Elapsed: elapsed[i]}
+	}
+	return all, timings
 }
 
 // Suite returns the full khuzdulvet analyzer suite: the tier-1 AST analyzers
-// of PR 3 plus the tier-2 call-graph analyzers.
+// of PR 3, the tier-2 call-graph analyzers, the tier-3 whole-program
+// protocol analyzers, and the tier-4 concurrency-integrity analyzers.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		WireCodec,
@@ -224,5 +256,8 @@ func Suite() []*Analyzer {
 		WireBound,
 		FrameCase,
 		MetricLive,
+		GuardField,
+		AtomicMix,
+		TimerStop,
 	}
 }

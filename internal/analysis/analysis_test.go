@@ -121,6 +121,9 @@ func TestLockOrder(t *testing.T)     { runFixtureTest(t, LockOrder) }
 func TestWireBound(t *testing.T)     { runFixtureTest(t, WireBound) }
 func TestFrameCase(t *testing.T)     { runFixtureTest(t, FrameCase) }
 func TestMetricLive(t *testing.T)    { runFixtureTest(t, MetricLive) }
+func TestGuardField(t *testing.T)    { runFixtureTest(t, GuardField) }
+func TestAtomicMix(t *testing.T)     { runFixtureTest(t, AtomicMix) }
+func TestTimerStop(t *testing.T)     { runFixtureTest(t, TimerStop) }
 
 // TestCallGraph pins the program construction the tier-2 analyzers rely on:
 // directive roots, interface-method over-approximation, reachability and the
@@ -256,6 +259,71 @@ func TestTier3Directives(t *testing.T) {
 		if _, ok := want[a]; !ok {
 			t.Errorf("unexpected analyzer %q in diagnostics: %v", a, diags)
 		}
+	}
+}
+
+// TestTier4Directives is the directive × analyzer matrix for the tier-4
+// analyzers: hotpath/longrun roots neither gate nor suppress them, a live
+// ignore suppresses exactly its atomicmix finding, and stale ignores naming
+// each tier-4 analyzer are audited.
+func TestTier4Directives(t *testing.T) {
+	pkgs := fixtureSubset(t, "tier4dir")
+	diags := Run(pkgs, []*Analyzer{GuardField, AtomicMix, TimerStop})
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+		if d.Analyzer == "staleignore" && strings.Contains(d.Message, "suppressed on purpose") {
+			t.Errorf("live atomicmix suppression reported stale: %s", d)
+		}
+	}
+	want := map[string]int{
+		"guardfield":  1, // lock-free read of the guarded field inside the hotpath root
+		"timerstop":   1, // ticker leaked on the stop path of the longrun root
+		"atomicmix":   0, // suppressed by the live ignore directive
+		"staleignore": 3, // one stale ignore per tier-4 analyzer
+	}
+	for a, n := range want {
+		if counts[a] != n {
+			t.Errorf("%s: got %d findings, want %d; all: %v", a, counts[a], n, diags)
+		}
+	}
+	for a := range counts {
+		if _, ok := want[a]; !ok {
+			t.Errorf("unexpected analyzer %q in diagnostics: %v", a, diags)
+		}
+	}
+}
+
+// TestSuiteComposition pins the suite roster: fifteen analyzers, each in its
+// documented tier, in deterministic (tier, name) order.
+func TestSuiteComposition(t *testing.T) {
+	wantTiers := map[string]int{
+		"wirecodec": 1, "goroutinejoin": 1, "errclass": 1, "sleepban": 1, "locksend": 1,
+		"hotalloc": 2, "maporder": 2, "cancelpoll": 2,
+		"lockorder": 3, "wirebound": 3, "framecase": 3, "metriclive": 3,
+		"guardfield": 4, "atomicmix": 4, "timerstop": 4,
+	}
+	suite := Suite()
+	if len(suite) != len(wantTiers) {
+		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(wantTiers))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		tier, ok := wantTiers[a.Name]
+		if !ok {
+			t.Errorf("unexpected analyzer %q in suite", a.Name)
+			continue
+		}
+		if a.Tier != tier {
+			t.Errorf("%s: tier = %d, want %d", a.Name, a.Tier, tier)
+		}
+		if a.Doc == "" {
+			t.Errorf("%s: empty Doc; -list depends on a one-line invariant", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q listed twice", a.Name)
+		}
+		seen[a.Name] = true
 	}
 }
 

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces the one rule the Go memory model states without
+// exception: a memory location accessed atomically anywhere must be
+// accessed atomically everywhere. The tree carries dozens of typed-atomic
+// fields (metrics counters, heartbeat miss tallies, failover snapshots);
+// one plain read of such a field compiles, usually works, and is still a
+// data race — the compiler may tear, cache, or reorder it, and the race
+// detector only complains when a test happens to schedule the conflict.
+//
+// The check is whole-program over the call graph's declaration index. A
+// field is atomic-disciplined when its type is a sync/atomic value (or a
+// slice/array of them), or when any site in the program reaches it through
+// a sync/atomic package function (&x.f passed to atomic.AddInt64 and kin).
+// Every other access to a disciplined field is classified:
+//
+//	atomic — a method call on the value (x.f.Load(), x.f[i].Store(v)), or
+//	    its address taken (handed out for atomic use);
+//	plain  — everything else: assignment to or through the field, a value
+//	    read, a range over an atomic container (which copies elements
+//	    non-atomically);
+//	exempt — construction: composite-literal keys and accesses through a
+//	    value still inside its constructor (pre-escape initialization is
+//	    single-goroutine by definition), plus len/cap of containers (the
+//	    slice header, not the elements).
+//
+// Every plain access is reported with the site that established the atomic
+// discipline. There is no safe mixed pattern to allow-list; an ignore
+// directive exists for fixtures and for code proven single-goroutine by
+// construction.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Tier: 4,
+	Doc: "a field accessed through sync/atomic anywhere must be accessed " +
+		"atomically everywhere: mixed atomic/plain access is forbidden by " +
+		"the Go memory model",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	info := pass.Prog.atomicMix()
+	for _, f := range info.findings {
+		if f.pkg == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// atomicMixInfo is the whole-program mixed-access result, built once per
+// Run.
+type atomicMixInfo struct {
+	findings []progFinding
+}
+
+// atomicFieldFacts describes one atomic-disciplined field.
+type atomicFieldFacts struct {
+	name  string
+	typed bool      // the field's type is itself a sync/atomic value (or container)
+	first token.Pos // first old-style atomic site, the witness cited in findings
+}
+
+// atomicMix builds (once) and returns the program's mixed-access findings.
+// Two passes: the first discovers disciplined fields (typed atomics plus
+// old-style &x.f-to-atomic.* witnesses), the second classifies every access
+// to a disciplined field and reports the plain ones. Two passes rather than
+// one keeps discipline establishment order-independent: a plain access is
+// reported even when it lexically precedes the program's only atomic site.
+func (p *Program) atomicMix() *atomicMixInfo {
+	if p.atomicInfo != nil {
+		return p.atomicInfo
+	}
+	facts := map[types.Object]*atomicFieldFacts{}
+
+	// Pass 1: discover disciplined fields.
+	p.eachFieldAccess(func(fn *types.Func, info *types.Info, sel *ast.SelectorExpr, obj *types.Var, stack []ast.Node, ctor map[types.Object]bool) {
+		typed, container := atomicFieldType(obj.Type())
+		cls, _ := classifyAtomicSite(info, sel, stack, typed, container)
+		if !typed && cls != atomicSiteAtomic {
+			return
+		}
+		f := facts[obj]
+		if f == nil {
+			ownerPkg, ownerName := namedType(receiverType(info, sel))
+			if ownerName == "" {
+				return
+			}
+			f = &atomicFieldFacts{name: shortPkgPath(ownerPkg) + "." + ownerName + "." + obj.Name()}
+			facts[obj] = f
+		}
+		f.typed = f.typed || typed
+		if cls == atomicSiteAtomic && !typed && !f.first.IsValid() {
+			f.first = sel.Sel.Pos()
+		}
+	})
+
+	// Pass 2: report plain accesses to disciplined fields.
+	info := &atomicMixInfo{}
+	p.eachFieldAccess(func(fn *types.Func, inf *types.Info, sel *ast.SelectorExpr, obj *types.Var, stack []ast.Node, ctor map[types.Object]bool) {
+		f := facts[obj]
+		if f == nil {
+			return
+		}
+		typed, container := atomicFieldType(obj.Type())
+		cls, write := classifyAtomicSite(inf, sel, stack, typed, container)
+		if cls != atomicSitePlain || ctor[rootIdentObj(inf, sel.X)] {
+			return
+		}
+		why := fmt.Sprintf("field %s is a sync/atomic value", f.name)
+		if !f.typed {
+			why = fmt.Sprintf("field %s is accessed through sync/atomic at %s", f.name, p.pos(f.first))
+		}
+		kind := "read"
+		if write {
+			kind = "write"
+		}
+		info.findings = append(info.findings, progFinding{
+			pos: sel.Sel.Pos(),
+			pkg: fn.Pkg(),
+			msg: fmt.Sprintf("%s but this %s is plain; mixing atomic and plain access "+
+				"is forbidden by the Go memory model — use the atomic API at every site", why, kind),
+		})
+	})
+	p.atomicInfo = info
+	return info
+}
+
+// eachFieldAccess walks every declared body in DeclList order and invokes
+// visit for each selector that resolves to a struct field declared by an
+// in-program package, with the enclosing-node stack and the body's
+// constructor-local set.
+func (p *Program) eachFieldAccess(visit func(fn *types.Func, info *types.Info, sel *ast.SelectorExpr, obj *types.Var, stack []ast.Node, ctor map[types.Object]bool)) {
+	for _, fn := range p.DeclList {
+		fd := p.Decls[fn]
+		info := p.InfoOf[fn]
+		if fd.Body == nil {
+			continue
+		}
+		ctor := ctorLocals(fd.Body, info)
+		inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() || obj.Pkg() == nil || !p.Pkgs[obj.Pkg()] {
+				return true
+			}
+			visit(fn, info, sel, obj, stack, ctor)
+			return true
+		})
+	}
+}
+
+// Site classifications.
+const (
+	atomicSiteNeither = iota // construction, len/cap, or unknowable
+	atomicSiteAtomic
+	atomicSitePlain
+)
+
+// atomicFieldType reports whether t is a sync/atomic value (typed), and
+// whether the atomic values sit behind a slice/array layer (container).
+func atomicFieldType(t types.Type) (typed, container bool) {
+	if p, _ := namedType(t); p == "sync/atomic" {
+		return true, false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if p, _ := namedType(u.Elem()); p == "sync/atomic" {
+			return true, true
+		}
+	case *types.Array:
+		if p, _ := namedType(u.Elem()); p == "sync/atomic" {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// classifyAtomicSite classifies one field-selector occurrence given its
+// enclosing nodes. For typed fields every non-construction access is either
+// a method call / address escape (atomic) or plain; for old-style fields
+// only &x.f handed to a sync/atomic function is atomic, a bare &x.f is
+// unknowable (neither), and everything else is plain.
+func classifyAtomicSite(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node, typed, container bool) (cls int, write bool) {
+	cur := ast.Node(sel)
+	i := len(stack) - 1
+	parentAt := func(j int) ast.Node {
+		if j < 0 || j >= len(stack) {
+			return nil
+		}
+		return stack[j]
+	}
+	// Step through one indexing layer for containers: the element, not the
+	// header, is the atomic value.
+	indexed := false
+	if container {
+		if ix, ok := parentAt(i).(*ast.IndexExpr); ok && ix.X == cur {
+			cur = ix
+			i--
+			indexed = true
+		}
+	}
+	switch pn := parentAt(i).(type) {
+	case *ast.SelectorExpr:
+		if pn.X == cur {
+			if _, isMethod := info.Uses[pn.Sel].(*types.Func); isMethod {
+				// A method call OR a bound method value (x.f.Load handed out
+				// as a func): both take the address and go through the
+				// atomic API when invoked.
+				if typed && (indexed || !container) {
+					return atomicSiteAtomic, false
+				}
+			}
+			// x.f.g — the field is traversed as a plain struct value.
+			return atomicSitePlain, false
+		}
+	case *ast.UnaryExpr:
+		if pn.Op == token.AND && pn.X == cur {
+			if typed {
+				return atomicSiteAtomic, false
+			}
+			// Old-style: &x.f is atomic exactly when it feeds a sync/atomic
+			// package function; any other escape is unknowable.
+			if call, ok := parentAt(i - 1).(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "sync/atomic" {
+					return atomicSiteAtomic, false
+				}
+			}
+			return atomicSiteNeither, false
+		}
+	case *ast.CallExpr:
+		// len(x.f) / cap(x.f) read the container header, not the elements.
+		if container && !indexed &&
+			(isBuiltinCall(info, pn, "len") || isBuiltinCall(info, pn, "cap")) {
+			return atomicSiteNeither, false
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range pn.Lhs {
+			if lhs == cur {
+				return atomicSitePlain, true
+			}
+		}
+		return atomicSitePlain, false
+	case *ast.IncDecStmt:
+		if pn.X == cur {
+			return atomicSitePlain, true
+		}
+	case *ast.RangeStmt:
+		if pn.X == cur && container && !indexed {
+			if pn.Value != nil {
+				// Ranging with a value copies each element non-atomically.
+				return atomicSitePlain, false
+			}
+			// Index-only range reads just the container header.
+			return atomicSiteNeither, false
+		}
+	case *ast.KeyValueExpr:
+		// Composite-literal initialization: struct{f: atomic...} keys are
+		// Idents (never reach here); a disciplined field as the *value* of a
+		// literal is a plain read.
+		if pn.Value == cur {
+			return atomicSitePlain, false
+		}
+		return atomicSiteNeither, false
+	}
+	return atomicSitePlain, false
+}

@@ -85,9 +85,18 @@ type Program struct {
 	polls  map[*types.Func]bool
 	blocks map[*types.Func]bool
 
+	// Pkgs is the set of loaded (in-program) packages; tier-4 analyzers use
+	// it to limit field tracking to structs the program declares.
+	Pkgs map[*types.Package]bool
+
 	// lockInfo is the tier-3 lock-acquisition graph of lockorder.go, built
 	// lazily on first use and shared by every pass of the Run.
 	lockInfo *lockGraphInfo
+	// guardInfo, atomicInfo and timerInfo are the tier-4 whole-program fact
+	// bases, likewise built lazily on first use.
+	guardInfo  *guardFieldInfo
+	atomicInfo *atomicMixInfo
+	timerInfo  *timerStopInfo
 }
 
 // BuildProgram constructs the call graph, reachability closures and function
@@ -101,9 +110,13 @@ func BuildProgram(pkgs []*LoadedPackage) *Program {
 		syncCallees: map[*types.Func][]*types.Func{},
 		Hot:         map[*types.Func]bool{},
 		Long:        map[*types.Func]bool{},
+		Pkgs:        map[*types.Package]bool{},
 	}
 	if len(pkgs) > 0 {
 		p.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		p.Pkgs[pkg.Types] = true
 	}
 	// Phase 1: declarations and directive-marked roots.
 	type markedPkg struct{ hot, long bool }

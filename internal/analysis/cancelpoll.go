@@ -30,6 +30,7 @@ import (
 // this loop. sync.WaitGroup.Wait is not blocking evidence (see summary.go).
 var CancelPoll = &Analyzer{
 	Name: "cancelpoll",
+	Tier: 2,
 	Doc: "loops reachable from //khuzdulvet:longrun roots that block on " +
 		"channels must poll Config.Canceled or select on a cancel channel",
 	Run: runCancelPoll,

@@ -25,6 +25,7 @@ import (
 // max does not demand an extra case.
 var FrameCase = &Analyzer{
 	Name: "framecase",
+	Tier: 3,
 	Doc: "switches over frame-type constants must handle every declared " +
 		"type or classify the unexpected one in an explicit default",
 	Run: runFrameCase,

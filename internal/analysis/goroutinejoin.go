@@ -17,6 +17,7 @@ import (
 // channel, directly or through a same-package callee).
 var GoroutineJoin = &Analyzer{
 	Name: "goroutinejoin",
+	Tier: 1,
 	Doc: "every goroutine in internal/{comm,cluster,core,fault} must be tied to a " +
 		"visible join (WaitGroup, done-channel or collector) so crashes and " +
 		"speculation cannot leak workers",

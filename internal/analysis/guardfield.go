@@ -1,0 +1,743 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardField infers, per struct field, the lock that guards it — and then
+// holds every access to that standard. The resident service's correctness
+// now rests on lock discipline across ~30 mutex-guarded structs; the race
+// detector only sees the interleavings the tests happen to schedule, but the
+// *intent* of a guarded field is visible statically: if nearly every access
+// happens under the same mutex, the stray access that doesn't is either a
+// data race or a deliberate exception worth documenting.
+//
+// The inference: every field access in the program is recorded together
+// with the set of locks held at that point — locks acquired in the same
+// function (the lockorder held-set scan: deferred unlocks keep the lock to
+// function end, `go` bodies hold nothing), plus the locks provably held on
+// entry, computed as the intersection over every call site of the function
+// (a helper only ever called under s.mu inherits s.mu). A field whose
+// accesses hold one consistent lock key (pkg.Type.field or a package-level
+// mutex) at >= 80% of at least guardMinAccesses sites is presumed guarded
+// by it; each remaining access is reported with the inferred guard and the
+// witnessing lock-free site.
+//
+// Deliberate approximations, in the safe direction for each:
+//   - Accesses through a value still inside its constructor (a local built
+//     from a composite literal or new in the same function) are excluded —
+//     pre-escape initialization needs no lock and must not dilute the
+//     guarded fraction.
+//   - Function-literal bodies hold nothing on entry: a goroutine spawned
+//     under a lock does not inherit it, so its accesses either lock for
+//     themselves or count as lock-free.
+//   - Functions with no in-program callers (exported entry points) and
+//     functions spawned by `go` or taken as values enter lock-free.
+//   - sync.* and sync/atomic fields are exempt: mutexes are the guards, and
+//     atomics follow atomicmix's discipline instead.
+//
+// An intentional lock-free access (a racy-by-design stats read, a field
+// that is immutable after publication) is annotated in place:
+//
+//	//khuzdulvet:ignore guardfield <why the lock-free access is safe>
+var GuardField = &Analyzer{
+	Name: "guardfield",
+	Tier: 4,
+	Doc: "a struct field accessed under one consistent lock at >=80% of its " +
+		"sites is presumed guarded by it; every remaining lock-free access " +
+		"is a potential data race",
+	Run: runGuardField,
+}
+
+// Inference thresholds: a guard is inferred only over at least
+// guardMinAccesses recorded accesses, of which a fraction of at least
+// guardThreshold must hold the same lock key.
+const (
+	guardMinAccesses = 4
+	guardThreshold   = 0.8
+)
+
+func runGuardField(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	info := pass.Prog.guardFields()
+	for _, f := range info.findings {
+		if f.pkg == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// progFinding is one whole-program finding attributed to a package, the
+// shape every lazily-built tier-4 fact base reports through.
+type progFinding struct {
+	pos token.Pos
+	pkg *types.Package
+	msg string
+}
+
+// guardFieldInfo is the whole-program guard-inference result, built once
+// per Run.
+type guardFieldInfo struct {
+	findings []progFinding
+}
+
+// guardAccess is one recorded field access with its lock context.
+type guardAccess struct {
+	pos token.Pos
+	fn  *types.Func
+	// held is the set of lock keys directly held at the access.
+	held []string
+	// entry records whether fn's entry-held set augments held (false inside
+	// function literals, which run on their own goroutine or at defer time).
+	entry bool
+	write bool
+}
+
+// guardCall is one recorded call site, the raw material of the entry-held
+// intersection.
+type guardCall struct {
+	caller *types.Func
+	callee *types.Func
+	held   []string
+	// entry: the caller's own entry-held set applies at this site (false
+	// inside literals).
+	entry bool
+	// spawn: the call is a `go` statement — the callee starts lock-free.
+	spawn bool
+}
+
+// guardFieldState accumulates one field's accesses plus its rendered name.
+type guardFieldState struct {
+	name     string
+	accesses []*guardAccess
+}
+
+type guardBuilder struct {
+	prog   *Program
+	fields map[types.Object]*guardFieldState
+	order  []types.Object // fields in first-seen order, for determinism
+	calls  []guardCall
+	// valueRef marks functions referenced as values: their entry set is
+	// unknowable, so they enter lock-free.
+	valueRef map[*types.Func]bool
+}
+
+// guardFields builds (once) and returns the program's guard inference.
+func (p *Program) guardFields() *guardFieldInfo {
+	if p.guardInfo != nil {
+		return p.guardInfo
+	}
+	b := &guardBuilder{
+		prog:     p,
+		fields:   map[types.Object]*guardFieldState{},
+		valueRef: map[*types.Func]bool{},
+	}
+	// Phase 1: per-function held-set scans recording field accesses and
+	// call sites.
+	for _, fn := range p.DeclList {
+		fd := p.Decls[fn]
+		if fd.Body == nil {
+			continue
+		}
+		s := &guardScanner{b: b, fn: fn, info: p.InfoOf[fn], entry: true,
+			ctor: ctorLocals(fd.Body, p.InfoOf[fn])}
+		s.scanStmts(fd.Body.List, nil)
+		for len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.entry = false
+			s.scanStmts(next.List, nil)
+		}
+	}
+	// Phase 2: entry-held sets to a fixpoint. entry(fn) is the intersection
+	// over every recorded call of (held at the site ∪ the caller's own entry
+	// set); functions never called in-program, spawned via go, or taken as
+	// values enter lock-free. Sets only ever shrink, so iteration converges;
+	// functions still unconstrained afterwards (call cycles unreachable from
+	// any root) resolve to lock-free.
+	called := map[*types.Func]bool{}
+	for _, rec := range b.calls {
+		for _, target := range p.implementations(rec.callee) {
+			if _, ok := p.Decls[target]; ok {
+				called[target] = true
+			}
+		}
+	}
+	entry := map[*types.Func]map[string]bool{}
+	entryOf := func(fn *types.Func) (map[string]bool, bool) {
+		if !called[fn] || b.valueRef[fn] {
+			return nil, true // known: lock-free
+		}
+		set, ok := entry[fn]
+		return set, ok // !ok: still unconstrained (⊤)
+	}
+	for fn := range b.valueRef {
+		entry[fn] = map[string]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, rec := range b.calls {
+			var eff map[string]bool
+			if rec.spawn {
+				eff = map[string]bool{}
+			} else {
+				callerEntry, known := entryOf(rec.caller)
+				if !known {
+					continue // caller still ⊤: no constraint yet
+				}
+				eff = map[string]bool{}
+				for _, h := range rec.held {
+					eff[h] = true
+				}
+				if rec.entry {
+					for k := range callerEntry {
+						eff[k] = true
+					}
+				}
+			}
+			for _, target := range p.implementations(rec.callee) {
+				if _, ok := p.Decls[target]; !ok {
+					continue
+				}
+				cur, ok := entry[target]
+				if !ok {
+					set := make(map[string]bool, len(eff))
+					for k := range eff {
+						set[k] = true
+					}
+					entry[target] = set
+					changed = true
+					continue
+				}
+				for k := range cur {
+					if !eff[k] {
+						delete(cur, k)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Phase 3: inference and reporting per field.
+	info := &guardFieldInfo{}
+	for _, obj := range b.order {
+		st := b.fields[obj]
+		total := len(st.accesses)
+		if total < guardMinAccesses {
+			continue
+		}
+		effective := func(a *guardAccess) map[string]bool {
+			eff := map[string]bool{}
+			for _, h := range a.held {
+				eff[h] = true
+			}
+			if a.entry {
+				if set, known := entryOf(a.fn); known {
+					for k := range set {
+						eff[k] = true
+					}
+				}
+			}
+			return eff
+		}
+		counts := map[string]int{}
+		for _, a := range st.accesses {
+			for key := range effective(a) {
+				if guardableKey(key) {
+					counts[key]++
+				}
+			}
+		}
+		keys := make([]string, 0, len(counts))
+		for key := range counts {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		best, bestN := "", 0
+		for _, key := range keys {
+			if counts[key] > bestN {
+				best, bestN = key, counts[key]
+			}
+		}
+		if best == "" || bestN == total || float64(bestN) < guardThreshold*float64(total) {
+			continue
+		}
+		for _, a := range st.accesses {
+			if effective(a)[best] {
+				continue
+			}
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			info.findings = append(info.findings, progFinding{
+				pos: a.pos,
+				pkg: a.fn.Pkg(),
+				msg: fmt.Sprintf("field %s is guarded by %s at %d/%d accesses; this %s does not hold it — "+
+					"lock, or annotate an intentional lock-free access with an ignore directive",
+					st.name, best, bestN, total, kind),
+			})
+		}
+	}
+	p.guardInfo = info
+	return info
+}
+
+// guardableKey reports whether a lock key can guard a field across
+// functions: struct-field and package-level mutexes qualify, function-local
+// mutexes (whose keys carry the scoping "fn:expr" form) do not.
+func guardableKey(key string) bool {
+	return !strings.Contains(key, ":")
+}
+
+// ctorLocals collects the function's constructor-local values: variables
+// assigned from a composite literal, &composite, or new(T) in this body.
+// Field accesses through them are pre-escape initialization and are
+// excluded from guard inference.
+func ctorLocals(body *ast.BlockStmt, info *types.Info) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isCtorExpr(info, n.Rhs[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) && isCtorExpr(info, n.Values[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCtorExpr reports whether e constructs a fresh value: T{...}, &T{...},
+// or new(T).
+func isCtorExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		return isBuiltinCall(info, e, "new")
+	}
+	return false
+}
+
+// guardScanner walks one function body in statement order, maintaining the
+// held-lock set (the lockorder machinery) while recording every struct-field
+// access and every resolvable call site.
+type guardScanner struct {
+	b    *guardBuilder
+	fn   *types.Func
+	info *types.Info
+	// entry: accesses and calls in the current body see fn's entry-held set
+	// (true for the declaration body, false inside queued literals).
+	entry bool
+	ctor  map[types.Object]bool
+	queue []*ast.BlockStmt
+}
+
+func (s *guardScanner) scanStmts(list []ast.Stmt, held []string) []string {
+	for _, st := range list {
+		held = s.scanStmt(st, held)
+	}
+	return held
+}
+
+func (s *guardScanner) scanStmt(st ast.Stmt, held []string) []string {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockOpOf(s.info, s.fn, st.X); ok {
+			switch op {
+			case opLock:
+				return append(held, key)
+			case opUnlock:
+				return removeLockKey(held, key)
+			}
+		}
+		s.visit(st.X, held)
+	case *ast.IncDecStmt:
+		s.visitWrite(st.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held to function end. Other
+		// deferred calls run at exit under an unknown held set: record them
+		// lock-free (the safe under-approximation) and visit their argument
+		// expressions, which evaluate now.
+		if _, op, ok := lockOpOf(s.info, s.fn, st.Call); ok && op == opUnlock {
+			return held
+		}
+		s.recordCall(st.Call, nil, false)
+		for _, arg := range st.Call.Args {
+			s.visit(arg, held)
+		}
+		s.collectLits(st.Call)
+	case *ast.GoStmt:
+		// The goroutine holds nothing on entry regardless of the spawner's
+		// locks; argument expressions still evaluate on this stack.
+		s.recordCall(st.Call, nil, true)
+		for _, arg := range st.Call.Args {
+			s.visit(arg, held)
+		}
+		s.collectLits(st.Call)
+	case *ast.SendStmt:
+		s.visit(st.Chan, held)
+		s.visit(st.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.visit(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.visitWrite(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.visit(e, held)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.visit(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.BlockStmt:
+		held = s.scanStmts(st.List, held)
+	case *ast.IfStmt:
+		// Branch-sensitive: each arm scans a copy of the held set, and the
+		// fall-through set is the intersection over the arms that can fall
+		// through. The early-return idiom — `if c { mu.Unlock(); return }`
+		// while holding mu — must not strip the lock from the straight-line
+		// path, and a conditionally-acquired lock must not count as held
+		// after the branch.
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		s.visit(st.Cond, held)
+		bodyOut := s.scanStmts(st.Body.List, append([]string(nil), held...))
+		var live [][]string
+		if !s.blockTerminates(st.Body.List) {
+			live = append(live, bodyOut)
+		}
+		if st.Else != nil {
+			elseOut := s.scanStmt(st.Else, append([]string(nil), held...))
+			if !s.stmtTerminates(st.Else) {
+				live = append(live, elseOut)
+			}
+		} else {
+			live = append(live, held)
+		}
+		if len(live) > 0 {
+			held = intersectHeld(live)
+		}
+	case *ast.ForStmt:
+		// Loop bodies scan a copy: a balanced lock/unlock inside the loop
+		// leaves the fall-through set untouched either way, and an
+		// unbalanced one must not leak into the straight-line path.
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.visit(st.Cond, held)
+		}
+		s.scanStmts(st.Body.List, append([]string(nil), held...))
+	case *ast.RangeStmt:
+		s.visit(st.X, held)
+		if st.Key != nil {
+			s.visitWrite(st.Key, held)
+		}
+		if st.Value != nil {
+			s.visitWrite(st.Value, held)
+		}
+		s.scanStmts(st.Body.List, append([]string(nil), held...))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.scanStmt(st.Init, held)
+		}
+		s.visit(st.Tag, held)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, append([]string(nil), held...))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, append([]string(nil), held...))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				clause := append([]string(nil), held...)
+				if cc.Comm != nil {
+					clause = s.scanStmt(cc.Comm, clause)
+				}
+				s.scanStmts(cc.Body, clause)
+			}
+		}
+	case *ast.LabeledStmt:
+		held = s.scanStmt(st.Stmt, held)
+	}
+	return held
+}
+
+// blockTerminates reports whether a statement list cannot fall through.
+func (s *guardScanner) blockTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return s.stmtTerminates(list[len(list)-1])
+}
+
+// stmtTerminates reports whether st always transfers control away from the
+// following statement: return, break/continue/goto, panic, or a block/if
+// whose every arm does.
+func (s *guardScanner) stmtTerminates(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		return ok && isBuiltinCall(s.info, call, "panic")
+	case *ast.BlockStmt:
+		return s.blockTerminates(st.List)
+	case *ast.IfStmt:
+		return st.Else != nil && s.blockTerminates(st.Body.List) && s.stmtTerminates(st.Else)
+	}
+	return false
+}
+
+// intersectHeld keeps the lock keys present in every set, preserving the
+// first set's order.
+func intersectHeld(sets [][]string) []string {
+	var out []string
+	for _, key := range sets[0] {
+		inAll := true
+		for _, other := range sets[1:] {
+			found := false
+			for _, k := range other {
+				if k == key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// visitWrite records the field an assignment target writes through, then
+// visits the rest of the target as reads. Index and dereference layers
+// unwrap to the selector that names the written field: s.m[k] = v writes
+// (through) field m.
+func (s *guardScanner) visitWrite(e ast.Expr, held []string) {
+	target := e
+	for {
+		switch t := target.(type) {
+		case *ast.ParenExpr:
+			target = t.X
+			continue
+		case *ast.StarExpr:
+			target = t.X
+			continue
+		case *ast.IndexExpr:
+			s.visit(t.Index, held)
+			target = t.X
+			continue
+		}
+		break
+	}
+	if sel, ok := target.(*ast.SelectorExpr); ok {
+		s.recordField(sel, held, true)
+		s.visit(sel.X, held)
+		return
+	}
+	s.visit(target, held)
+}
+
+// visit records field reads, call sites, and function value references in
+// an expression subtree; function literals queue for their own lock-free
+// scan.
+func (s *guardScanner) visit(e ast.Expr, held []string) {
+	if e == nil {
+		return
+	}
+	funs := map[ast.Node]bool{}
+	sels := map[*ast.Ident]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.queue = append(s.queue, n.Body)
+			return false
+		case *ast.CallExpr:
+			funs[n.Fun] = true
+			if _, _, ok := lockOpOf(s.info, s.fn, n); ok {
+				// Lock/Unlock calls are handled by the statement walk; do not
+				// record the mutex selector or a call edge, but still visit
+				// the receiver path below the mutex field.
+				if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel {
+					if inner, isInner := sel.X.(*ast.SelectorExpr); isInner {
+						s.visit(inner.X, held)
+					}
+				}
+				return false
+			}
+			s.recordCall(n, held, false)
+			return true
+		case *ast.SelectorExpr:
+			// The Sel ident is owned by this selector: the Ident case below
+			// must not mistake it for a bare function-value reference.
+			sels[n.Sel] = true
+			if fn, ok := s.info.Uses[n.Sel].(*types.Func); ok && !funs[n] {
+				if _, declared := s.b.prog.Decls[fn]; declared {
+					s.b.valueRef[fn] = true
+				}
+			}
+			s.recordField(n, held, false)
+			return true
+		case *ast.Ident:
+			if fn, ok := s.info.Uses[n].(*types.Func); ok && !funs[n] && !sels[n] {
+				if _, declared := s.b.prog.Decls[fn]; declared {
+					s.b.valueRef[fn] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordField records one access to a program-declared struct field, unless
+// the field's type is exempt (sync primitives, atomics) or the access is
+// pre-escape constructor initialization.
+func (s *guardScanner) recordField(sel *ast.SelectorExpr, held []string, write bool) {
+	obj, ok := s.info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || obj.Pkg() == nil || !s.b.prog.Pkgs[obj.Pkg()] {
+		return
+	}
+	if guardExemptType(obj.Type()) {
+		return
+	}
+	if s.ctor[rootIdentObj(s.info, sel.X)] {
+		return
+	}
+	st := s.b.fields[obj]
+	if st == nil {
+		ownerPkg, ownerName := namedType(receiverType(s.info, sel))
+		if ownerName == "" {
+			return
+		}
+		st = &guardFieldState{name: shortPkgPath(ownerPkg) + "." + ownerName + "." + obj.Name()}
+		s.b.fields[obj] = st
+		s.b.order = append(s.b.order, obj)
+	}
+	st.accesses = append(st.accesses, &guardAccess{
+		pos:   sel.Sel.Pos(),
+		fn:    s.fn,
+		held:  append([]string(nil), held...),
+		entry: s.entry,
+		write: write,
+	})
+}
+
+// recordCall records one resolvable call site for the entry-held
+// intersection.
+func (s *guardScanner) recordCall(call *ast.CallExpr, held []string, spawn bool) {
+	callee := calleeFunc(s.info, call)
+	if callee == nil {
+		return
+	}
+	s.b.calls = append(s.b.calls, guardCall{
+		caller: s.fn,
+		callee: callee,
+		held:   append([]string(nil), held...),
+		entry:  s.entry,
+		spawn:  spawn,
+	})
+}
+
+func (s *guardScanner) collectLits(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			s.queue = append(s.queue, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// rootIdentObj resolves the leftmost identifier of a selector/index chain
+// to its object, or nil.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// guardExemptType reports whether a field type is outside guard inference:
+// sync primitives are the guards themselves, and sync/atomic values (bare,
+// or as slice/array elements) follow atomicmix's discipline instead.
+func guardExemptType(t types.Type) bool {
+	if p, _ := namedType(t); p == "sync" || p == "sync/atomic" {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if p, _ := namedType(u.Elem()); p == "sync/atomic" {
+			return true
+		}
+	case *types.Array:
+		if p, _ := namedType(u.Elem()); p == "sync/atomic" {
+			return true
+		}
+	}
+	return false
+}

@@ -134,11 +134,11 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// inspectStack walks the file like ast.Inspect but hands the visitor the
-// stack of enclosing nodes (outermost first, n excluded).
-func inspectStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+// inspectStack walks the subtree under root like ast.Inspect but hands the
+// visitor the stack of enclosing nodes (outermost first, n excluded).
+func inspectStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

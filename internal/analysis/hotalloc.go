@@ -29,6 +29,7 @@ import (
 // suppressed with //khuzdulvet:ignore hotalloc <reason>.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
+	Tier: 2,
 	Doc: "no heap allocation, interface boxing, fmt/log call or growing " +
 		"append in functions reachable from //khuzdulvet:hotpath roots",
 	Run: runHotAlloc,

@@ -36,6 +36,7 @@ import (
 // ignore directive with a reason is the documented escape hatch.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
+	Tier: 3,
 	Doc: "lock acquisition order must be acyclic across the program: holding " +
 		"L while (transitively) acquiring M orders L before M, and a cycle " +
 		"is a potential deadlock",
@@ -497,9 +498,16 @@ func (s *lockOrderScanner) collectLits(n ast.Node, attribute bool) {
 }
 
 // lockOp classifies an expression as a mutex Lock/RLock or Unlock/RUnlock
+// call and derives the lock's program-wide key.
+func (s *lockOrderScanner) lockOp(e ast.Expr) (key string, op int, ok bool) {
+	return lockOpOf(s.info, s.fn, e)
+}
+
+// lockOpOf classifies an expression as a mutex Lock/RLock or Unlock/RUnlock
 // call and derives the lock's program-wide key. RLock counts as Lock: a
 // read-lock cycle still deadlocks once a writer queues between the readers.
-func (s *lockOrderScanner) lockOp(e ast.Expr) (key string, op int, ok bool) {
+// Shared by the lockorder and guardfield held-set scanners.
+func lockOpOf(info *types.Info, fn *types.Func, e ast.Expr) (key string, op int, ok bool) {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
 		return "", 0, false
@@ -516,31 +524,31 @@ func (s *lockOrderScanner) lockOp(e ast.Expr) (key string, op int, ok bool) {
 	default:
 		return "", 0, false
 	}
-	if !isSyncType(receiverType(s.info, sel), "Mutex", "RWMutex") {
+	if !isSyncType(receiverType(info, sel), "Mutex", "RWMutex") {
 		return "", 0, false
 	}
-	return s.lockKey(sel.X), op, true
+	return lockKeyOf(info, fn, sel.X), op, true
 }
 
-// lockKey identifies the mutex behind expr program-wide: by declaring
+// lockKeyOf identifies the mutex behind expr program-wide: by declaring
 // struct type and field for field mutexes, by package for package-level
 // ones, and scoped to the enclosing function otherwise (locals cannot
 // participate in cross-function cycles).
-func (s *lockOrderScanner) lockKey(e ast.Expr) string {
+func lockKeyOf(info *types.Info, fn *types.Func, e ast.Expr) string {
 	switch x := e.(type) {
 	case *ast.SelectorExpr:
-		if tv, ok := s.info.Types[x.X]; ok && tv.Type != nil {
+		if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
 			if pkgPath, name := namedType(tv.Type); name != "" {
 				return shortPkgPath(pkgPath) + "." + name + "." + x.Sel.Name
 			}
 		}
 	case *ast.Ident:
-		if obj := s.info.Uses[x]; obj != nil && obj.Pkg() != nil &&
+		if obj := info.Uses[x]; obj != nil && obj.Pkg() != nil &&
 			obj.Parent() == obj.Pkg().Scope() {
 			return shortPkgPath(obj.Pkg().Path()) + "." + x.Name
 		}
 	}
-	return s.fn.FullName() + ":" + types.ExprString(e)
+	return fn.FullName() + ":" + types.ExprString(e)
 }
 
 // shortPkgPath renders a package path as its last segment for readable keys.

@@ -23,6 +23,7 @@ import (
 // default clause are non-blocking and pass.
 var LockSend = &Analyzer{
 	Name: "locksend",
+	Tier: 1,
 	Doc: "no fabric Send/Fetch/Ping or blocking channel operation while a " +
 		"sync.Mutex/RWMutex is held — the deadlock shape partitions expose",
 	Run: runLockSend,

@@ -27,6 +27,7 @@ import (
 // sinks: order cannot be observed through them.
 var MapOrder = &Analyzer{
 	Name: "maporder",
+	Tier: 2,
 	Doc: "no range over a map whose iteration order flows into wire traffic, " +
 		"channel sends, writes, or unsorted collected slices",
 	Run: runMapOrder,

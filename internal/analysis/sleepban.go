@@ -15,6 +15,7 @@ import (
 // analysis entirely).
 var SleepBan = &Analyzer{
 	Name: "sleepban",
+	Tier: 1,
 	Doc: "time.Sleep is only legal inside internal/fault; sleeps elsewhere break " +
 		"determinism, cancellation latency and straggler-timing assumptions",
 	Run: runSleepBan,

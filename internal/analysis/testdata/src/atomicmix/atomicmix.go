@@ -1,0 +1,102 @@
+// Package atomicmix is the atomicmix fixture: a field accessed through
+// sync/atomic anywhere — a typed atomic value or an &field handed to the
+// atomic package — must be accessed atomically everywhere. Plain reads and
+// writes of disciplined fields are flagged wherever they sit relative to
+// the atomic witness; construction, len/cap and plain-only fields are the
+// legal near misses.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats mixes one typed atomic field, one old-style atomic field, and one
+// plain-only field that atomicmix must leave alone.
+type Stats struct {
+	ops  atomic.Int64
+	hits int64
+	errs int64
+}
+
+func (s *Stats) Record() {
+	s.ops.Add(1)
+	atomic.AddInt64(&s.hits, 1)
+	s.errs++
+}
+
+func (s *Stats) Snapshot() (int64, int64) {
+	return s.ops.Load(), atomic.LoadInt64(&s.hits)
+}
+
+// Racy reads the old-style field without the atomic package; this access
+// sits lexically after the witness, RacyEarly's sits before it — both are
+// found (discipline is established program-wide, not lexically).
+func (s *Stats) Racy() int64 {
+	return s.hits // want "accessed through sync/atomic .* but this read is plain"
+}
+
+// AboveWitness reads hits in a function that sorts before Record: order
+// must not matter.
+func (s *Stats) AboveWitness() bool {
+	return s.hits > 0 // want "accessed through sync/atomic .* but this read is plain"
+}
+
+// RacyWrite assigns a typed atomic field as a value: a plain write.
+func (s *Stats) RacyWrite(o *Stats) {
+	o.ops = s.ops // want "sync/atomic value but this (read|write) is plain"
+}
+
+// Loader hands out a bound method value: the closure goes through the
+// atomic API when invoked, so this is an atomic access, not a plain read.
+func (s *Stats) Loader() func() int64 {
+	return s.ops.Load
+}
+
+// Errs may use plain access freely: no atomic site anywhere touches errs.
+func (s *Stats) Errs() int64 {
+	s.errs--
+	return s.errs
+}
+
+// New initializes through a constructor-local value: pre-escape, exempt.
+func New() *Stats {
+	s := &Stats{}
+	s.hits = 1
+	s.ops.Store(1)
+	return s
+}
+
+// Shards carries a slice of atomic values: element method calls are atomic,
+// len/cap and index-only ranges touch just the header, but value-ranges and
+// element copies are plain element accesses.
+type Shards struct {
+	counts []atomic.Uint64
+}
+
+func NewShards(n int) *Shards {
+	return &Shards{counts: make([]atomic.Uint64, n)}
+}
+
+func (h *Shards) Bump(i int) {
+	h.counts[i%len(h.counts)].Add(1)
+}
+
+func (h *Shards) Total() uint64 {
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// Copy ranges with a value, copying every element non-atomically.
+func (h *Shards) Copy() []uint64 {
+	out := make([]uint64, 0, cap(h.counts))
+	for _, c := range h.counts { // want "sync/atomic value but this read is plain"
+		out = append(out, c.Load())
+	}
+	return out
+}
+
+// First lifts one element out as a value: a plain element read.
+func (h *Shards) First() atomic.Uint64 {
+	return h.counts[0] // want "sync/atomic value but this read is plain"
+}

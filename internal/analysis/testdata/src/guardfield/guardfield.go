@@ -1,0 +1,265 @@
+// Package guardfield is the guardfield fixture: a field accessed under one
+// consistent mutex at >=80% of at least four sites is presumed guarded, and
+// every remaining lock-free access is flagged. The legal near misses:
+// constructor-local initialization, fields below the access minimum, fields
+// below the consistency threshold, helpers that inherit the lock from every
+// call site, and annotated intentional lock-free reads.
+package guardfield
+
+import "sync"
+
+// Counter.hits is guarded: three direct locked accesses plus one through a
+// helper that is only ever called under the lock, against one stray read.
+type Counter struct {
+	mu   sync.Mutex
+	hits int
+	cold int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = 0
+	c.bump()
+}
+
+// bump holds no lock itself, but its only call site does: the entry-held
+// intersection makes this access count as guarded.
+func (c *Counter) bump() {
+	c.hits++
+}
+
+// Peek is the stray: 4/5 accesses hold mu, this one does not.
+func (c *Counter) Peek() int {
+	return c.hits // want "guarded by guardfield.Counter.mu at 4/5 accesses"
+}
+
+// NewCounter initializes through a constructor-local value: pre-escape, no
+// lock needed, excluded from the inference (counting it would dilute hits
+// below the threshold and kill the Peek finding above).
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 1
+	return c
+}
+
+// cold is touched under the lock only half the time: below the 80%
+// consistency threshold, so no guard is inferred and nothing is reported.
+func (c *Counter) TouchA() {
+	c.mu.Lock()
+	c.cold++
+	c.mu.Unlock()
+}
+
+func (c *Counter) TouchB() {
+	c.cold++
+}
+
+func (c *Counter) TouchC() {
+	c.cold--
+}
+
+func (c *Counter) TouchD() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cold = 0
+}
+
+// Queue.items mixes direct locked accesses with a goroutine body (which
+// inherits nothing from its spawner) and an annotated intentional racy read.
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *Queue) Drain() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}
+
+func (q *Queue) Clear() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = nil
+}
+
+func (q *Queue) Swap(next []int) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	old := q.items
+	q.items = next
+	return old
+}
+
+// Watch reads items from a spawned goroutine: the spawner's locks do not
+// travel to the new stack, so this access is lock-free and flagged.
+func (q *Queue) Watch(report func(int)) {
+	go func() {
+		report(len(q.items)) // want "guarded by guardfield.Queue.mu at 8/10 accesses"
+	}()
+}
+
+// StatsLen is racy by design and says so: the directive suppresses the
+// finding (and counts as used, not stale).
+func (q *Queue) StatsLen() int {
+	//khuzdulvet:ignore guardfield monitoring sample; a stale length is acceptable
+	return len(q.items)
+}
+
+// Gauge.flush has two call sites, only one under the lock: the entry-held
+// intersection is empty, so its access is lock-free and flagged.
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Gauge) Set(x int) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Add(x int) {
+	g.mu.Lock()
+	g.v += x
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Dec() {
+	g.mu.Lock()
+	g.v--
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func (g *Gauge) flush() {
+	g.v = 0 // want "guarded by guardfield.Gauge.mu at 4/5 accesses"
+}
+
+func (g *Gauge) Locked() {
+	g.mu.Lock()
+	g.flush()
+	g.mu.Unlock()
+}
+
+func (g *Gauge) Unlocked() {
+	g.flush()
+}
+
+// Ledger exercises the early-return idiom: an Unlock inside a terminating
+// if arm must not strip the lock from the straight-line path. All five
+// accesses to m are locked — if the branch handling were linear, Put's
+// access would read as lock-free (4/5 = the threshold exactly) and produce
+// a false finding on its line.
+type Ledger struct {
+	mu     sync.Mutex
+	m      map[string]int
+	closed bool
+}
+
+func (l *Ledger) Put(k string, v int) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	l.m[k] = v
+	l.mu.Unlock()
+	return true
+}
+
+func (l *Ledger) Get(k string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m[k]
+}
+
+func (l *Ledger) Del(k string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.m, k)
+}
+
+func (l *Ledger) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// Leak re-reads the guarded field after releasing the lock on the
+// early-return arm — the capture-miss idiom (`return nil, m.failed` after
+// Unlock) that branch sensitivity exists to catch rather than mask.
+func (l *Ledger) Leak(k string) int {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return l.m[k] // want "guarded by guardfield.Ledger.mu at 5/6 accesses"
+	}
+	l.mu.Unlock()
+	return 0
+}
+
+func (l *Ledger) Keys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, 4)
+	for k := range l.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Tiny.n has only three recorded accesses: below guardMinAccesses, no
+// inference, no findings.
+type Tiny struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (t *Tiny) A() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *Tiny) B() {
+	t.mu.Lock()
+	t.n--
+	t.mu.Unlock()
+}
+
+func (t *Tiny) C() int {
+	return t.n
+}

@@ -28,6 +28,7 @@ import (
 // charges the function that performs the decode.
 var WireBound = &Analyzer{
 	Name: "wirebound",
+	Tier: 3,
 	Doc: "wire-decoded integers must be clamped against a constant cap " +
 		"before sizing allocations, slice reservations, or loop bounds",
 	Run: runWireBound,

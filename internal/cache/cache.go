@@ -305,7 +305,10 @@ func (c *replacementCache) SizeBytes() uint64 {
 	return c.size
 }
 
-func (c *replacementCache) Policy() Policy { return c.policy }
+func (c *replacementCache) Policy() Policy {
+	//khuzdulvet:ignore guardfield policy is assigned at construction and never written after
+	return c.policy
+}
 
 // Evictions returns the number of evicted entries.
 func (c *replacementCache) Evictions() uint64 {

@@ -242,6 +242,7 @@ func (f *failover) Owner(v graph.VertexID) int {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
+	//khuzdulvet:ignore guardfield failover topologies are immutable once published; recMu only guards construction and adoption
 	return f.alive[h%uint64(len(f.alive))]
 }
 

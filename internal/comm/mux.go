@@ -97,8 +97,11 @@ func (m *muxState) fetch(from, to int, ids []graph.VertexID) ([][]graph.VertexID
 
 	m.mu.Lock()
 	if m.failed != nil {
+		// Capture under the lock: re-reading m.failed after Unlock races
+		// with a concurrent transport failure installing a different error.
+		err := m.failed
 		m.mu.Unlock()
-		return nil, m.failed
+		return nil, err
 	}
 	id := m.nextID
 	m.nextID++
