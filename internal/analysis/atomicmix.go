@@ -201,6 +201,19 @@ func classifyAtomicSite(info *types.Info, sel *ast.SelectorExpr, stack []ast.Nod
 		}
 		return stack[j]
 	}
+	// Parentheses are transparent: `(x.f).Load()` is the same access as
+	// `x.f.Load()`. Skip them before each structural step.
+	skipParens := func() {
+		for {
+			pe, ok := parentAt(i).(*ast.ParenExpr)
+			if !ok || pe.X != cur {
+				return
+			}
+			cur = pe
+			i--
+		}
+	}
+	skipParens()
 	// Step through one indexing layer for containers: the element, not the
 	// header, is the atomic value.
 	indexed := false
@@ -209,6 +222,7 @@ func classifyAtomicSite(info *types.Info, sel *ast.SelectorExpr, stack []ast.Nod
 			cur = ix
 			i--
 			indexed = true
+			skipParens()
 		}
 	}
 	switch pn := parentAt(i).(type) {

@@ -50,6 +50,12 @@ func (s *Stats) Loader() func() int64 {
 	return s.ops.Load
 }
 
+// ParenLoad parenthesizes the receiver: still an atomic access, not a
+// plain read through the default branch.
+func (s *Stats) ParenLoad() int64 {
+	return (s.ops).Load()
+}
+
 // Errs may use plain access freely: no atomic site anywhere touches errs.
 func (s *Stats) Errs() int64 {
 	s.errs--
@@ -85,6 +91,12 @@ func (h *Shards) Total() uint64 {
 		t += h.counts[i].Load()
 	}
 	return t
+}
+
+// ParenBump parenthesizes both the slice and the indexed element: both
+// layers are transparent and the element method call is atomic.
+func (h *Shards) ParenBump(i int) {
+	((h.counts)[i%len(h.counts)]).Add(1)
 }
 
 // Copy ranges with a value, copying every element non-atomically.

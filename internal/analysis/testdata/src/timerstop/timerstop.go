@@ -198,6 +198,34 @@ func insideGo(d time.Duration, done chan struct{}) {
 	}()
 }
 
+// rebind overwrites a live ticker with a fresh one: the first becomes
+// unreachable before anything stops it.
+func rebind(a, b time.Duration) {
+	t := time.NewTicker(a) // want "rebound before being stopped"
+	t = time.NewTicker(b)
+	t.Stop()
+}
+
+// rebindStopped stops the first ticker before reusing the variable: clean.
+func rebindStopped(a, b time.Duration) {
+	t := time.NewTicker(a)
+	t.Stop()
+	t = time.NewTicker(b)
+	t.Stop()
+}
+
+// rebindFromSource overwrites a live ticker obtained from an in-program
+// source: the rebind check follows source bindings too.
+func rebindFromSource(done chan struct{}) {
+	t := newHeartbeat() // want "rebound before being stopped"
+	t = newHeartbeat()
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
 // escapeToCallee hands the timer to another function: ownership transfers,
 // nothing to report here.
 func escapeToCallee(d time.Duration) {

@@ -581,7 +581,23 @@ func (s *timerScanner) bindIdent(st timerState, id *ast.Ident, call *ast.CallExp
 	if obj == nil {
 		return
 	}
+	s.checkRebind(st, obj)
 	st[obj] = timerVal{pos: call.Pos(), name: id.Name, kind: kind, call: callName}
+}
+
+// checkRebind reports a live tracked timer about to be overwritten by a
+// fresh binding to the same variable: the old value becomes unreachable
+// with no Stop possible, so the leak must be charged now or never.
+func (s *timerScanner) checkRebind(st timerState, obj types.Object) {
+	tv, tracked := st[obj]
+	if !tracked || tv.stopped || tv.escaped {
+		return
+	}
+	s.report(tv.pos, s.pkg(), fmt.Sprintf(
+		"%s result %s is rebound before being stopped; the original %s becomes "+
+			"unreachable and pins a runtime timer%s until it fires or forever — "+
+			"stop it before reassigning",
+		tv.call, tv.name, tv.kind, tickerSuffix(tv.kind)))
 }
 
 // bindFromSource tracks the timer-typed results of a call to an in-program
@@ -600,6 +616,7 @@ func (s *timerScanner) bindFromSource(st timerState, lhs []ast.Expr, call *ast.C
 		if kind == "" {
 			continue
 		}
+		s.checkRebind(st, obj)
 		st[obj] = timerVal{pos: call.Pos(), name: id.Name, kind: kind, call: cf.Name()}
 	}
 }
