@@ -67,6 +67,7 @@ func runMine() {
 		cachePol  = flag.String("cache-policy", "static", "cache policy: static, fifo, lifo, lru, mru")
 		cacheDeg  = flag.Uint("cache-threshold", 8, "static cache degree admission threshold")
 		noHDS     = flag.Bool("no-hds", false, "disable horizontal data sharing")
+		hubThresh = flag.Int("hub-threshold", 0, "hub-vertex degree threshold for the bitmap intersection kernel (0 = derive from the degree histogram; set above the max degree to disable)")
 		tcp       = flag.Bool("tcp", false, "use the loopback TCP fabric")
 		inflight  = flag.Int("inflight", 0, "multiplexed requests kept in flight per TCP peer connection (0 = default 16)")
 		faultProf = flag.String("fault-profile", "", "deterministic fault injection spec, e.g. seed=7,err=0.05,corrupt=0.01,drop=0.01,partition=0|1@500,slow=2:20,crash=2@500 (empty disables)")
@@ -81,7 +82,7 @@ func runMine() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*nodes, *sockets, *threads, *retries, *inflight, *fetchTO, 0, 0, *faultProf); err != nil {
+	if err := validateFlags(*nodes, *sockets, *threads, *retries, *inflight, *hubThresh, *fetchTO, 0, 0, *faultProf); err != nil {
 		fatal(err)
 	}
 
@@ -106,6 +107,7 @@ func runMine() {
 		CachePolicy:          *cachePol,
 		CacheDegreeThreshold: uint32(*cacheDeg),
 		DisableHDS:           *noHDS,
+		HubThreshold:         uint32(*hubThresh),
 		TCP:                  *tcp,
 		InFlight:             *inflight,
 		FaultProfile:         *faultProf,
@@ -195,7 +197,7 @@ func runServe(args []string) {
 		deadline  = fs.Duration("query-deadline", 0, "server-side cap on any query's execution time (0 = uncapped)")
 	)
 	fs.Parse(args)
-	if err := validateFlags(*nodes, *sockets, *threads, 0, 0, 0, *drainTO, *deadline, ""); err != nil {
+	if err := validateFlags(*nodes, *sockets, *threads, 0, 0, 0, 0, *drainTO, *deadline, ""); err != nil {
 		fatal(err)
 	}
 	g, err := loadGraph(*graphSpec)
@@ -361,7 +363,7 @@ func runHealth(args []string) {
 // front, before any graph loading, with errors that name the flag — the
 // alternative is a partition panic or a silently useless retry budget deep
 // inside a run.
-func validateFlags(nodes, sockets, threads, retries, inflight int, fetchTO, drainTO, queryDeadline time.Duration, faultProf string) error {
+func validateFlags(nodes, sockets, threads, retries, inflight, hubThreshold int, fetchTO, drainTO, queryDeadline time.Duration, faultProf string) error {
 	if nodes <= 0 {
 		return fmt.Errorf("-nodes must be positive, got %d", nodes)
 	}
@@ -376,6 +378,9 @@ func validateFlags(nodes, sockets, threads, retries, inflight int, fetchTO, drai
 	}
 	if inflight < 0 {
 		return fmt.Errorf("-inflight must not be negative, got %d", inflight)
+	}
+	if hubThreshold < 0 {
+		return fmt.Errorf("-hub-threshold must not be negative, got %d", hubThreshold)
 	}
 	if fetchTO < 0 {
 		return fmt.Errorf("-fetch-timeout must not be negative, got %v", fetchTO)
@@ -424,6 +429,10 @@ func report(res khuzdul.Result, err error) {
 			res.HeartbeatMisses, res.NodesSuspected)
 		fmt.Printf("  speculation: %d ranges re-executed, %d wins\n",
 			res.SpeculativeRanges, res.SpeculationWins)
+	}
+	if res.KernelMerge+res.KernelGallop+res.KernelBitmap+res.KernelPivot > 0 {
+		fmt.Printf("kernels: %d merge, %d gallop, %d bitmap, %d pivot\n",
+			res.KernelMerge, res.KernelGallop, res.KernelBitmap, res.KernelPivot)
 	}
 	if res.PipelinedFetches > 0 || res.InFlightPeak > 0 {
 		fmt.Printf("transport: %d pipelined fetches, in-flight peak %d\n",

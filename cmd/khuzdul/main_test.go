@@ -9,14 +9,14 @@ import (
 func TestValidateFlags(t *testing.T) {
 	ok := func(nodes, sockets, threads, retries int, to time.Duration, prof string) func(*testing.T) {
 		return func(t *testing.T) {
-			if err := validateFlags(nodes, sockets, threads, retries, 0, to, 0, 0, prof); err != nil {
+			if err := validateFlags(nodes, sockets, threads, retries, 0, 0, to, 0, 0, prof); err != nil {
 				t.Fatalf("validateFlags: unexpected error %v", err)
 			}
 		}
 	}
 	bad := func(nodes, sockets, threads, retries int, to time.Duration, prof, want string) func(*testing.T) {
 		return func(t *testing.T) {
-			err := validateFlags(nodes, sockets, threads, retries, 0, to, 0, 0, prof)
+			err := validateFlags(nodes, sockets, threads, retries, 0, 0, to, 0, 0, prof)
 			if err == nil {
 				t.Fatal("validateFlags: expected error, got nil")
 			}
@@ -35,31 +35,37 @@ func TestValidateFlags(t *testing.T) {
 	t.Run("zero threads", bad(8, 1, 0, 0, 0, "", "-threads"))
 	t.Run("negative threads", bad(8, 1, -1, 0, 0, "", "-threads"))
 	t.Run("negative retries", bad(8, 1, 2, -1, 0, "", "-retries"))
+	t.Run("negative hub threshold", func(t *testing.T) {
+		err := validateFlags(8, 1, 2, 0, 0, -1, 0, 0, 0, "")
+		if err == nil || !strings.Contains(err.Error(), "-hub-threshold") {
+			t.Fatalf("validateFlags: error %v does not mention -hub-threshold", err)
+		}
+	})
 	t.Run("negative inflight", func(t *testing.T) {
-		err := validateFlags(8, 1, 2, 0, -1, 0, 0, 0, "")
+		err := validateFlags(8, 1, 2, 0, -1, 0, 0, 0, 0, "")
 		if err == nil || !strings.Contains(err.Error(), "-inflight") {
 			t.Fatalf("validateFlags: error %v does not mention -inflight", err)
 		}
 	})
 	t.Run("negative timeout", bad(8, 1, 2, 0, -time.Second, "", "-fetch-timeout"))
 	t.Run("serve durations ok", func(t *testing.T) {
-		if err := validateFlags(8, 1, 2, 0, 0, 0, 10*time.Second, time.Minute, ""); err != nil {
+		if err := validateFlags(8, 1, 2, 0, 0, 0, 0, 10*time.Second, time.Minute, ""); err != nil {
 			t.Fatalf("validateFlags: unexpected error %v", err)
 		}
 	})
 	t.Run("zero drain timeout ok", func(t *testing.T) {
-		if err := validateFlags(8, 1, 2, 0, 0, 0, 0, 0, ""); err != nil {
+		if err := validateFlags(8, 1, 2, 0, 0, 0, 0, 0, 0, ""); err != nil {
 			t.Fatalf("validateFlags: unexpected error %v", err)
 		}
 	})
 	t.Run("negative drain timeout", func(t *testing.T) {
-		err := validateFlags(8, 1, 2, 0, 0, 0, -time.Second, 0, "")
+		err := validateFlags(8, 1, 2, 0, 0, 0, 0, -time.Second, 0, "")
 		if err == nil || !strings.Contains(err.Error(), "-drain-timeout") {
 			t.Fatalf("validateFlags: error %v does not mention -drain-timeout", err)
 		}
 	})
 	t.Run("negative query deadline", func(t *testing.T) {
-		err := validateFlags(8, 1, 2, 0, 0, 0, 0, -time.Second, "")
+		err := validateFlags(8, 1, 2, 0, 0, 0, 0, 0, -time.Second, "")
 		if err == nil || !strings.Contains(err.Error(), "-query-deadline") {
 			t.Fatalf("validateFlags: error %v does not mention -query-deadline", err)
 		}

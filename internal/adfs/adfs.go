@@ -160,7 +160,7 @@ func processNode(g *graph.Graph, pl *plan.Plan, asg partition.Assignment,
 				for _, tk := range in[startIdx:endIdx] {
 					exts++
 					getList := func(pos int) []graph.VertexID { return g.Neighbors(tk.emb[pos]) }
-					raw := pl.RawIntersect(scratch, level, getList, nil)
+					raw := pl.RawIntersect(scratch, level, tk.emb, getList, nil)
 					cands := pl.Candidates(scratch, level, tk.emb, raw, getList, labelOf)
 					if final {
 						local += uint64(len(cands))

@@ -86,6 +86,10 @@ type Config struct {
 	// MiniBatch and FlushSize pass through to the engine.
 	MiniBatch int
 	FlushSize int
+	// HubThreshold, when nonzero, overrides the compiled hub-vertex degree
+	// threshold for the engines' bitmap intersection kernel (0 keeps the
+	// value derived from the graph's degree histogram at plan compile time).
+	HubThreshold uint32
 	// StrictPipeline disables the engine's fire-all-fetches-at-seal
 	// overlapping (ablation of the paper's §4.3 design choice).
 	StrictPipeline bool
@@ -557,6 +561,7 @@ func (c *Cluster) RunWith(pl *plan.Plan, sinkFactory func(node, socket int) core
 				Threads:        threads,
 				MiniBatch:      c.cfg.MiniBatch,
 				FlushSize:      c.cfg.FlushSize,
+				HubThreshold:   c.cfg.HubThreshold,
 				HDS:            !c.cfg.DisableHDS,
 				StrictPipeline: c.cfg.StrictPipeline,
 				Cache:          ca,

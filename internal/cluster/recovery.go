@@ -424,6 +424,7 @@ func (c *Cluster) recoveryRound(pl *plan.Plan, labelOf plan.LabelFunc, edgeLabel
 			Threads:        c.cfg.Sockets * c.cfg.ThreadsPerSocket,
 			MiniBatch:      c.cfg.MiniBatch,
 			FlushSize:      c.cfg.FlushSize,
+			HubThreshold:   c.cfg.HubThreshold,
 			HDS:            !c.cfg.DisableHDS,
 			StrictPipeline: c.cfg.StrictPipeline,
 			Metrics:        c.met.Nodes[node],

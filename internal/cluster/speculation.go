@@ -328,6 +328,7 @@ func (s *speculator) runSpec(sp *specRun, suffix []graph.VertexID) {
 		Threads:        s.c.cfg.Sockets * s.c.cfg.ThreadsPerSocket,
 		MiniBatch:      s.c.cfg.MiniBatch,
 		FlushSize:      s.c.cfg.FlushSize,
+		HubThreshold:   s.c.cfg.HubThreshold,
 		HDS:            !s.c.cfg.DisableHDS,
 		StrictPipeline: s.c.cfg.StrictPipeline,
 		Metrics:        s.c.met.Nodes[sp.node],

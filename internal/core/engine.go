@@ -12,6 +12,7 @@ import (
 	"khuzdul/internal/graph"
 	"khuzdul/internal/metrics"
 	"khuzdul/internal/plan"
+	"khuzdul/internal/setops"
 )
 
 // Config tunes one engine instance (one socket of one machine).
@@ -36,6 +37,12 @@ type Config struct {
 	// computation does not stall communication", §4.3); this knob exists to
 	// measure what that choice buys (ablation experiment).
 	StrictPipeline bool
+	// HubThreshold, when nonzero, overrides the plan's compiled hub-vertex
+	// degree threshold for the bitmap intersection kernel on this engine's
+	// workers (set it above the graph's maximum degree to disable the
+	// kernel). 0 keeps the compiled value. The override lands on per-worker
+	// scratch, never on the shared plan.
+	HubThreshold uint32
 	// Cache is the edge-list cache consulted before remote fetches; nil
 	// disables caching (§5.3, Figure 16/17 ablations).
 	Cache cache.Cache
@@ -182,6 +189,9 @@ func NewEngine(ext Extender, src DataSource, sink Sink, cfg Config) *Engine {
 			buf:     make([]child, 0, cfg.FlushSize),
 		}
 		w.getListFn = w.getList
+		if cfg.HubThreshold > 0 {
+			w.scratch.SetHubThreshold(cfg.HubThreshold)
+		}
 		e.workers[i] = w
 	}
 	return e
@@ -408,6 +418,23 @@ func (e *Engine) extendRound(ch *chunk, b *fetchBatch, next *chunk, final bool) 
 		if w.vertHits > 0 {
 			e.met.VerticalHits.Add(w.vertHits)
 			w.vertHits = 0
+		}
+		kc := w.scratch.KernelCounts()
+		if kc[setops.KernelMerge] > 0 {
+			e.met.KernelMerge.Add(kc[setops.KernelMerge])
+			kc[setops.KernelMerge] = 0
+		}
+		if kc[setops.KernelGallop] > 0 {
+			e.met.KernelGallop.Add(kc[setops.KernelGallop])
+			kc[setops.KernelGallop] = 0
+		}
+		if kc[setops.KernelBitmap] > 0 {
+			e.met.KernelBitmap.Add(kc[setops.KernelBitmap])
+			kc[setops.KernelBitmap] = 0
+		}
+		if kc[setops.KernelPivot] > 0 {
+			e.met.KernelPivot.Add(kc[setops.KernelPivot])
+			kc[setops.KernelPivot] = 0
 		}
 	}
 }

@@ -90,7 +90,7 @@ func (e *PlanExtender) ListPositions(level int) []int {
 //
 //khuzdulvet:hotpath per-embedding extension kernel
 func (e *PlanExtender) Extend(s *plan.Scratch, level int, emb []graph.VertexID, getList func(pos int) []graph.VertexID, parentRaw []graph.VertexID) (cands, raw []graph.VertexID) {
-	raw = e.Plan.RawIntersect(s, level, getList, parentRaw)
+	raw = e.Plan.RawIntersect(s, level, emb, getList, parentRaw)
 	cands = e.Plan.Candidates(s, level, emb, raw, getList, e.LabelOf)
 	cands = e.Plan.FilterEdgeLabels(level, emb, cands, e.EdgeLabelOf)
 	return cands, raw

@@ -25,6 +25,10 @@ type Node struct {
 	VerticalHits       atomic.Uint64 // active lists resolved through parent pointers
 	Extensions         atomic.Uint64 // embedding extensions performed
 	Matches            atomic.Uint64 // full pattern embeddings found
+	KernelMerge        atomic.Uint64 // set kernels: linear-merge intersections executed
+	KernelGallop       atomic.Uint64 // set kernels: galloping intersections executed
+	KernelBitmap       atomic.Uint64 // set kernels: hub-bitmap probe intersections executed
+	KernelPivot        atomic.Uint64 // set kernels: k-way pivot intersections executed
 	CrossSocketFetches atomic.Uint64 // NUMA: lists served from another socket
 	CrossSocketBytes   atomic.Uint64 // NUMA: modeled cross-socket traffic
 	FetchRetries       atomic.Uint64 // resilience: fetch attempts retried after a failure
@@ -77,6 +81,10 @@ func (n *Node) Reset() {
 	n.VerticalHits.Store(0)
 	n.Extensions.Store(0)
 	n.Matches.Store(0)
+	n.KernelMerge.Store(0)
+	n.KernelGallop.Store(0)
+	n.KernelBitmap.Store(0)
+	n.KernelPivot.Store(0)
 	n.CrossSocketFetches.Store(0)
 	n.CrossSocketBytes.Store(0)
 	n.FetchRetries.Store(0)
@@ -200,6 +208,10 @@ type Summary struct {
 	VerticalHits       uint64
 	Extensions         uint64
 	Matches            uint64
+	KernelMerge        uint64
+	KernelGallop       uint64
+	KernelBitmap       uint64
+	KernelPivot        uint64
 	CrossSocketFetches uint64
 	CrossSocketBytes   uint64
 	FetchRetries       uint64
@@ -238,6 +250,10 @@ func (c *Cluster) Summarize() Summary {
 		s.VerticalHits += n.VerticalHits.Load()
 		s.Extensions += n.Extensions.Load()
 		s.Matches += n.Matches.Load()
+		s.KernelMerge += n.KernelMerge.Load()
+		s.KernelGallop += n.KernelGallop.Load()
+		s.KernelBitmap += n.KernelBitmap.Load()
+		s.KernelPivot += n.KernelPivot.Load()
 		s.CrossSocketFetches += n.CrossSocketFetches.Load()
 		s.CrossSocketBytes += n.CrossSocketBytes.Load()
 		s.FetchRetries += n.FetchRetries.Load()
@@ -283,6 +299,10 @@ func (s *Summary) Merge(o Summary) {
 	s.VerticalHits += o.VerticalHits
 	s.Extensions += o.Extensions
 	s.Matches += o.Matches
+	s.KernelMerge += o.KernelMerge
+	s.KernelGallop += o.KernelGallop
+	s.KernelBitmap += o.KernelBitmap
+	s.KernelPivot += o.KernelPivot
 	s.CrossSocketFetches += o.CrossSocketFetches
 	s.CrossSocketBytes += o.CrossSocketBytes
 	s.FetchRetries += o.FetchRetries

@@ -45,6 +45,7 @@ func Compile(pat *pattern.Pattern, opts Options) (*Plan, error) {
 			best = p
 		}
 	}
+	best.HubThreshold = stats.HubThreshold()
 	return best, nil
 }
 
@@ -150,7 +151,26 @@ func buildForOrder(pat *pattern.Pattern, order []int, opts Options) (*Plan, erro
 	// Active positions and NeedsList.
 	annotateActive(p)
 
+	// Structural kernel hints per EXTEND step.
+	annotateKernelHints(p)
+
 	return p, p.Validate()
+}
+
+// annotateKernelHints derives each level's kernel hint from the step shape:
+// three or more intersected lists is clique-like — the k-way pivot kernel
+// touches each candidate once instead of materializing pairwise
+// intermediates. One- and two-list steps stay on the skew-adaptive
+// dispatcher (merge / gallop / hub bitmap, chosen per call at runtime). The
+// hint is set even on VCS-reusing levels: when a stored parent intersection
+// is available the reuse path wins, but engines that run without one (DFS
+// baselines, recovery re-execution) still fall back to the hinted kernel.
+func annotateKernelHints(p *Plan) {
+	for i := 1; i < p.K; i++ {
+		if len(p.Levels[i].Intersect) >= 3 {
+			p.Levels[i].KernelHint = HintPivot
+		}
+	}
 }
 
 // annotateVCS marks ReuseSame / ReuseExtend / StoreInter.

@@ -19,14 +19,23 @@ type EdgeLabelFunc func(u, v graph.VertexID) graph.Label
 // noUpper is the exclusive upper bound meaning "unbounded".
 const noUpper = ^graph.VertexID(0)
 
-// Scratch holds reusable per-level buffers for plan execution. It is not
-// safe for concurrent use; create one per worker.
+// Scratch holds reusable per-level buffers and kernel dispatchers for plan
+// execution. It is not safe for concurrent use; create one per worker.
 type Scratch struct {
 	interA [][]graph.VertexID
 	interB [][]graph.VertexID
 	subA   [][]graph.VertexID
 	subB   [][]graph.VertexID
 	cand   [][]graph.VertexID
+	// disp holds one skew-adaptive dispatcher per level: the per-level hub
+	// bitmap lives inside it, rebuilt only when the level moves to a new hub
+	// vertex and reused across every embedding that touches the same hub.
+	disp []setops.Dispatcher
+	// pivot gathers the input lists of a k-way pivot step.
+	pivot [][]graph.VertexID
+	// kernels counts kernel invocations across all levels; engines drain it
+	// into their metrics node between rounds.
+	kernels [setops.NumKernels]uint64
 }
 
 // NewScratch allocates buffers sized for plan p.
@@ -37,35 +46,69 @@ func NewScratch(p *Plan) *Scratch {
 		subA:   make([][]graph.VertexID, p.K),
 		subB:   make([][]graph.VertexID, p.K),
 		cand:   make([][]graph.VertexID, p.K),
+		disp:   make([]setops.Dispatcher, p.K),
+		pivot:  make([][]graph.VertexID, 0, p.K),
+	}
+	for i := range s.disp {
+		s.disp[i].HubThreshold = int(p.HubThreshold)
+		s.disp[i].Counts = &s.kernels
 	}
 	return s
 }
 
+// SetHubThreshold overrides the compiled hub-promotion threshold for this
+// scratch's dispatchers (0 disables the bitmap kernel). Plans are shared and
+// possibly cached across concurrent runs, so per-run overrides land here, on
+// the per-worker state, never on the plan.
+func (s *Scratch) SetHubThreshold(t uint32) {
+	for i := range s.disp {
+		s.disp[i].HubThreshold = int(t)
+	}
+}
+
+// KernelCounts exposes the per-kernel invocation counters. The engine reads
+// and zeroes them at drain points; the scratch must be quiescent.
+func (s *Scratch) KernelCounts() *[setops.NumKernels]uint64 { return &s.kernels }
+
 // RawIntersect computes the raw candidate intersection for the given level:
 // ∩ N(emb[j]) over j in Levels[level].Intersect, honoring the plan's
-// vertical-computation-sharing annotations. getList(pos) must return the
-// sorted edge list of the vertex matched at position pos. parentRaw is the
+// vertical-computation-sharing annotations and the compiled kernel hints.
+// emb must hold the vertices matched at positions before level — the
+// dispatcher keys its hub-bitmap cache by vertex ID, which stays valid
+// however fetch buffers are recycled. getList(pos) must return the sorted
+// edge list of the vertex matched at position pos. parentRaw is the
 // intersection stored by the parent level (nil if none). The result may
 // alias getList output, parentRaw, or scratch storage; callers that retain
 // it across further calls must copy.
-func (p *Plan) RawIntersect(s *Scratch, level int, getList func(int) []graph.VertexID, parentRaw []graph.VertexID) []graph.VertexID {
+func (p *Plan) RawIntersect(s *Scratch, level int, emb []graph.VertexID, getList func(int) []graph.VertexID, parentRaw []graph.VertexID) []graph.VertexID {
 	lv := &p.Levels[level]
+	d := &s.disp[level]
 	if p.VCS && parentRaw != nil {
 		if lv.ReuseSame {
 			return parentRaw
 		}
 		if lv.ReuseExtend {
-			s.interA[level] = setops.Intersect(s.interA[level][:0], parentRaw, getList(level-1))
+			s.interA[level] = d.Intersect(s.interA[level][:0], parentRaw, getList(level-1), setops.NoVertex, emb[level-1])
 			return s.interA[level]
 		}
 	}
 	if len(lv.Intersect) == 1 {
 		return getList(lv.Intersect[0])
 	}
-	a := setops.Intersect(s.interA[level][:0], getList(lv.Intersect[0]), getList(lv.Intersect[1]))
+	if lv.KernelHint == HintPivot {
+		s.pivot = s.pivot[:0]
+		for _, j := range lv.Intersect {
+			s.pivot = append(s.pivot, getList(j))
+		}
+		s.interA[level] = setops.IntersectPivot(s.interA[level][:0], s.pivot)
+		s.kernels[setops.KernelPivot]++
+		return s.interA[level]
+	}
+	j0, j1 := lv.Intersect[0], lv.Intersect[1]
+	a := d.Intersect(s.interA[level][:0], getList(j0), getList(j1), emb[j0], emb[j1])
 	s.interA[level] = a
 	for _, j := range lv.Intersect[2:] {
-		b := setops.Intersect(s.interB[level][:0], a, getList(j))
+		b := d.Intersect(s.interB[level][:0], a, getList(j), setops.NoVertex, emb[j])
 		s.interB[level] = b
 		// Keep the freshest result in interA so the next round's [:0] reuse
 		// does not clobber it.
@@ -174,6 +217,10 @@ func NewExecutor(p *Plan, nbr NeighborFunc, labelOf LabelFunc) *Executor {
 // Plan returns the executor's plan.
 func (e *Executor) Plan() *Plan { return e.plan }
 
+// Scratch exposes the executor's per-worker scratch; hub-threshold overrides
+// and the per-kernel invocation counters live there.
+func (e *Executor) Scratch() *Scratch { return e.scratch }
+
 // SetEdgeLabelOf installs an edge-label oracle for edge-labeled patterns.
 func (e *Executor) SetEdgeLabelOf(f EdgeLabelFunc) { e.elabelOf = f }
 
@@ -211,7 +258,7 @@ func (e *Executor) levelCandidates(level int) []graph.VertexID {
 	if level > 1 {
 		parentRaw = e.raws[level-1]
 	}
-	raw := p.RawIntersect(e.scratch, level, e.getList, parentRaw)
+	raw := p.RawIntersect(e.scratch, level, e.emb, e.getList, parentRaw)
 	cands := p.Candidates(e.scratch, level, e.emb, raw, e.getList, e.labelOf)
 	cands = p.FilterEdgeLabels(level, e.emb, cands, e.elabelOf)
 	if level < p.K-1 {

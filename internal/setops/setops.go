@@ -16,6 +16,49 @@ import (
 	"khuzdul/internal/graph"
 )
 
+// Kernel names one concrete intersection implementation. The dispatcher and
+// the plan runtime pick a kernel per call; per-kernel invocation counters
+// flow into metrics so the selection policy is observable.
+type Kernel uint8
+
+const (
+	// KernelMerge is the linear two-cursor merge (balanced list sizes).
+	KernelMerge Kernel = iota
+	// KernelGallop is exponential + binary search of a short list into a
+	// much longer one (lopsided sizes).
+	KernelGallop
+	// KernelBitmap probes a dense per-hub bitset, amortizing one O(|hub|)
+	// build across every embedding that touches the same hub vertex.
+	KernelBitmap
+	// KernelPivot is the k-way intersection driven by the shortest list.
+	KernelPivot
+	// NumKernels sizes per-kernel counter arrays.
+	NumKernels
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelMerge:
+		return "merge"
+	case KernelGallop:
+		return "gallop"
+	case KernelBitmap:
+		return "bitmap"
+	case KernelPivot:
+		return "pivot"
+	default:
+		return "kernel(?)"
+	}
+}
+
+// NoVertex marks a list with no owning vertex (a scratch intermediate, not
+// an adjacency list). The dispatcher never hub-caches such a list.
+const NoVertex = ^graph.VertexID(0)
+
+// gallopRatio is the size ratio at which Intersect escalates from the linear
+// merge to galloping search.
+const gallopRatio = 32
+
 // Intersect appends a ∩ b to dst.
 // It switches to galloping search when the lists' sizes are lopsided, which
 // matters on skewed graphs where a hub list meets a short list.
@@ -31,9 +74,16 @@ func Intersect(dst, a, b []graph.VertexID) []graph.VertexID {
 	if len(a) == 0 {
 		return dst
 	}
-	if len(b) >= 32*len(a) {
+	if len(b) >= gallopRatio*len(a) {
 		return gallopIntersect(dst, a, b)
 	}
+	return IntersectMerge(dst, a, b)
+}
+
+// IntersectMerge appends a ∩ b to dst with the linear two-cursor merge,
+// unconditionally. It is the right kernel when the lists are of comparable
+// size; Intersect and the Dispatcher call it after ruling out skew.
+func IntersectMerge(dst, a, b []graph.VertexID) []graph.VertexID {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -50,39 +100,60 @@ func Intersect(dst, a, b []graph.VertexID) []graph.VertexID {
 	return dst
 }
 
+// IntersectGallop appends a ∩ b to dst, unconditionally driving the shorter
+// list through exponential + binary search in the longer one. Prefer
+// Intersect, which escalates to this kernel only past gallopRatio.
+func IntersectGallop(dst, a, b []graph.VertexID) []graph.VertexID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	return gallopIntersect(dst, a, b)
+}
+
+// gallopTo returns the first index j ≥ lo with b[j] ≥ x, by exponential
+// probe from lo followed by binary search — O(log d) where d is the distance
+// advanced, the property every galloping kernel here leans on.
+func gallopTo(b []graph.VertexID, lo int, x graph.VertexID) int {
+	step := 1
+	hi := lo
+	for hi < len(b) && b[hi] < x {
+		lo = hi + 1
+		hi += step
+		step <<= 1
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	l, r := lo, hi
+	for l < r {
+		m := int(uint(l+r) >> 1)
+		if b[m] < x {
+			l = m + 1
+		} else {
+			r = m
+		}
+	}
+	return l
+}
+
 // gallopIntersect intersects a short list a with a much longer list b by
 // exponential + binary search in b.
 func gallopIntersect(dst, a, b []graph.VertexID) []graph.VertexID {
 	lo := 0
 	for _, x := range a {
-		// Exponential probe from lo.
-		step := 1
-		hi := lo
-		for hi < len(b) && b[hi] < x {
-			lo = hi + 1
-			hi += step
-			step <<= 1
-		}
-		if hi > len(b) {
-			hi = len(b)
-		}
-		// Binary search in (lo-1, hi].
-		l, r := lo, hi
-		for l < r {
-			m := int(uint(l+r) >> 1)
-			if b[m] < x {
-				l = m + 1
-			} else {
-				r = m
-			}
-		}
-		lo = l
-		if lo < len(b) && b[lo] == x {
-			dst = append(dst, x)
-			lo++
-		}
+		lo = gallopTo(b, lo, x)
 		if lo >= len(b) {
 			break
+		}
+		if b[lo] == x {
+			dst = append(dst, x)
+			lo++
+			if lo >= len(b) {
+				break
+			}
 		}
 	}
 	return dst
@@ -91,27 +162,196 @@ func gallopIntersect(dst, a, b []graph.VertexID) []graph.VertexID {
 // IntersectBounded appends {x ∈ a ∩ b : lo < x < hi} to dst. Bounds encode
 // symmetry-breaking restrictions; pass 0 for no lower bound and
 // ^graph.VertexID(0) for no upper bound. Bounds are exclusive.
+//
+// The shorter list is clipped to (lo, hi) up front, then the intersection
+// escalates to galloping search exactly like Intersect when the remaining
+// sizes are lopsided — a bounded scan against a hub list no longer pays the
+// full long-list walk.
 func IntersectBounded(dst, a, b []graph.VertexID, lo, hi graph.VertexID) []graph.VertexID {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			x := a[i]
-			if x >= hi {
-				return dst
-			}
-			if x > lo {
-				dst = append(dst, x)
-			}
-			i++
-			j++
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// lo = all-ones admits nothing above it; lo+1 ≥ hi means the open
+	// interval (lo, hi) is empty. The explicit all-ones check also keeps the
+	// lo+1 below from wrapping.
+	if len(a) == 0 || lo == ^graph.VertexID(0) || lo+1 >= hi {
+		return dst
+	}
+	a = a[gallopTo(a, 0, lo+1):]
+	if end := gallopTo(a, 0, hi); end < len(a) {
+		a = a[:end]
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopIntersect(dst, a, b)
+	}
+	return IntersectMerge(dst, a, b)
+}
+
+// Bitmap is a dense bitset over vertex IDs, rebuilt per hub vertex and
+// probed once per embedding touching that hub. Build keeps its own copy of
+// the built list so clearing stale bits never depends on the caller's buffer
+// (fetched adjacency lists live in recycled communication slabs).
+type Bitmap struct {
+	words []uint64
+	built []graph.VertexID
+}
+
+// Build loads list into the bitmap, clearing whatever was built before.
+// Amortized cost is O(|list|): old bits are cleared word-by-word from the
+// retained copy, and word storage only ever grows.
+func (b *Bitmap) Build(list []graph.VertexID) {
+	for _, v := range b.built {
+		b.words[v>>6] = 0
+	}
+	b.built = b.built[:0]
+	if len(list) == 0 {
+		return
+	}
+	if need := int(list[len(list)-1]>>6) + 1; need > len(b.words) {
+		//khuzdulvet:ignore hotalloc word storage grows monotonically; amortized across hub builds
+		b.words = make([]uint64, need)
+	}
+	for _, v := range list {
+		b.words[v>>6] |= 1 << (v & 63)
+	}
+	b.built = append(b.built, list...)
+}
+
+// Contains reports whether the built list contains v.
+func (b *Bitmap) Contains(v graph.VertexID) bool {
+	w := int(v >> 6)
+	return w < len(b.words) && b.words[w]&(1<<(v&63)) != 0
+}
+
+// IntersectBitmap appends a ∩ built(bm) to dst by probing the bitmap once
+// per element of a — O(|a|) regardless of the built list's length, which is
+// what makes a one-time O(|hub|) build pay for itself across a level.
+func IntersectBitmap(dst, a []graph.VertexID, bm *Bitmap) []graph.VertexID {
+	for _, x := range a {
+		if bm.Contains(x) {
+			dst = append(dst, x)
 		}
 	}
 	return dst
+}
+
+// maxPivotLists bounds the stack-allocated cursor array of IntersectPivot.
+// Compiled plans intersect at most K-1 lists and patterns are tiny, so the
+// bound is never hit in practice.
+const maxPivotLists = 16
+
+// IntersectPivot appends the k-way intersection of lists to dst: the
+// shortest list drives, every other list is galloping-probed with a
+// persistent cursor, and exhausting any list exits early. Unlike the
+// pairwise reduction of IntersectMany it never materializes intermediates,
+// so clique-like steps touch each candidate exactly once.
+func IntersectPivot(dst []graph.VertexID, lists [][]graph.VertexID) []graph.VertexID {
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[0]...)
+	case 2:
+		return Intersect(dst, lists[0], lists[1])
+	}
+	if len(lists) > maxPivotLists {
+		// Compiled plans cannot reach this arity; correctness fallback only.
+		//khuzdulvet:ignore hotalloc unreachable from compiled plans (K-1 ≤ maxPivotLists)
+		return IntersectMany(dst, lists, nil)
+	}
+	p := 0
+	for i, l := range lists {
+		if len(l) == 0 {
+			return dst
+		}
+		if len(l) < len(lists[p]) {
+			p = i
+		}
+	}
+	var cursors [maxPivotLists]int
+outer:
+	for _, x := range lists[p] {
+		for i, l := range lists {
+			if i == p {
+				continue
+			}
+			c := gallopTo(l, cursors[i], x)
+			if c >= len(l) {
+				break outer
+			}
+			cursors[i] = c
+			if l[c] != x {
+				continue outer
+			}
+		}
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// Dispatcher is the skew-adaptive two-way kernel selector: one instance per
+// plan level per worker. Callers identify each input list by its owning
+// vertex (NoVertex for scratch intermediates); when a list at or above
+// HubThreshold shows up for the same hub twice in a row, the dispatcher
+// builds a bitmap for it and probes that for every later embedding touching
+// the hub. The two-touch promotion avoids O(|hub|) build thrash when hub
+// lists merely alternate. Below the threshold it escalates merge → gallop
+// on measured skew, exactly like Intersect.
+type Dispatcher struct {
+	// HubThreshold is the list length at which bitmap promotion engages;
+	// 0 disables the bitmap kernel entirely.
+	HubThreshold int
+	// Counts, when non-nil, receives one increment per call at the chosen
+	// kernel's index.
+	Counts *[NumKernels]uint64
+
+	bm       Bitmap
+	builtFor graph.VertexID
+	lastHub  graph.VertexID
+	hasBuilt bool
+	hasLast  bool
+}
+
+// Intersect appends a ∩ b to dst through the selected kernel. av and bv name
+// the vertices owning a and b (NoVertex when the list is not an adjacency
+// list); the hub cache is keyed by vertex ID, which stays valid however the
+// underlying buffers are recycled.
+func (d *Dispatcher) Intersect(dst, a, b []graph.VertexID, av, bv graph.VertexID) []graph.VertexID {
+	if len(a) > len(b) {
+		a, b = b, a
+		av, bv = bv, av
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if d.HubThreshold > 0 && bv != NoVertex && len(b) >= d.HubThreshold {
+		if d.hasBuilt && d.builtFor == bv {
+			d.count(KernelBitmap)
+			return IntersectBitmap(dst, a, &d.bm)
+		}
+		if d.hasLast && d.lastHub == bv {
+			d.bm.Build(b)
+			d.builtFor, d.hasBuilt = bv, true
+			d.count(KernelBitmap)
+			return IntersectBitmap(dst, a, &d.bm)
+		}
+		d.lastHub, d.hasLast = bv, true
+	}
+	if len(b) >= gallopRatio*len(a) {
+		d.count(KernelGallop)
+		return gallopIntersect(dst, a, b)
+	}
+	d.count(KernelMerge)
+	return IntersectMerge(dst, a, b)
+}
+
+func (d *Dispatcher) count(k Kernel) {
+	if d.Counts != nil {
+		d.Counts[k]++
+	}
 }
 
 // Subtract appends a \ b to dst.

@@ -320,3 +320,338 @@ func BenchmarkIntersectMany(b *testing.B) {
 		dst = IntersectMany(dst[:0], lists, scratch)
 	}
 }
+
+// --- pattern-aware kernel tests -----------------------------------------
+
+func TestIntersectMergeGallopAgree(t *testing.T) {
+	// The exported unconditional kernels must agree with the reference on
+	// the same inputs Intersect sees, including both argument orders.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSorted(rng, rng.Intn(60), 300)
+		b := randSorted(rng, rng.Intn(3000), 6000)
+		want := refIntersect(a, b)
+		return equal(IntersectMerge(nil, a, b), want) &&
+			equal(IntersectMerge(nil, b, a), want) &&
+			equal(IntersectGallop(nil, a, b), want) &&
+			equal(IntersectGallop(nil, b, a), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectBitmapMatchesReference(t *testing.T) {
+	var bm Bitmap
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSorted(rng, rng.Intn(100), 500)
+		b := randSorted(rng, rng.Intn(400), 2000)
+		bm.Build(b)
+		return equal(IntersectBitmap(nil, a, &bm), refIntersect(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapRebuildClearsStaleBits(t *testing.T) {
+	var bm Bitmap
+	bm.Build(ids(1, 64, 200))
+	bm.Build(ids(2, 65))
+	for _, v := range []int{1, 64, 200} {
+		if bm.Contains(graph.VertexID(v)) {
+			t.Fatalf("stale bit %d survived rebuild", v)
+		}
+	}
+	if !bm.Contains(2) || !bm.Contains(65) {
+		t.Fatal("rebuilt bits missing")
+	}
+	// Rebuilding after the caller's buffer was recycled must still clear
+	// correctly: Build retains its own copy of the list.
+	buf := ids(3, 130)
+	bm.Build(buf)
+	buf[0], buf[1] = 999, 1000 // caller recycles the buffer
+	bm.Build(ids(7))
+	if bm.Contains(3) || bm.Contains(130) {
+		t.Fatal("stale bits survived a rebuild after buffer recycling")
+	}
+	bm.Build(nil)
+	if bm.Contains(7) {
+		t.Fatal("empty build left bits behind")
+	}
+}
+
+func TestIntersectPivotMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 3 + rng.Intn(4)
+		lists := make([][]graph.VertexID, k)
+		for i := range lists {
+			lists[i] = randSorted(rng, rng.Intn(200), 400)
+		}
+		want := lists[0]
+		for _, l := range lists[1:] {
+			want = refIntersect(want, l)
+		}
+		return equal(IntersectPivot(nil, lists), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectPivotEdgeCases(t *testing.T) {
+	if got := IntersectPivot(nil, nil); len(got) != 0 {
+		t.Fatalf("pivot of no lists = %v", got)
+	}
+	one := [][]graph.VertexID{ids(1, 2, 3)}
+	if got := IntersectPivot(nil, one); !equal(got, ids(1, 2, 3)) {
+		t.Fatalf("pivot of one list = %v", got)
+	}
+	two := [][]graph.VertexID{ids(1, 2, 3), ids(2, 3, 4)}
+	if got := IntersectPivot(nil, two); !equal(got, ids(2, 3)) {
+		t.Fatalf("pivot of two lists = %v", got)
+	}
+	empty := [][]graph.VertexID{ids(1, 2), nil, ids(2, 3)}
+	if got := IntersectPivot(nil, empty); len(got) != 0 {
+		t.Fatalf("pivot with an empty list = %v", got)
+	}
+	// Beyond maxPivotLists the correctness fallback must still be exact.
+	many := make([][]graph.VertexID, maxPivotLists+2)
+	for i := range many {
+		many[i] = ids(5, 9, 42)
+	}
+	if got := IntersectPivot(nil, many); !equal(got, ids(5, 9, 42)) {
+		t.Fatalf("pivot fallback = %v", got)
+	}
+}
+
+func TestDispatcherMatchesReference(t *testing.T) {
+	// The dispatcher must stay exact whatever kernel it picks, across
+	// random hub thresholds, list shapes, and vertex keys — including the
+	// bitmap path once the same hub repeats (two-touch promotion).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Dispatcher{HubThreshold: 1 + rng.Intn(64)}
+		hub := randSorted(rng, 200+rng.Intn(400), 4000)
+		hubID := graph.VertexID(rng.Intn(100))
+		for step := 0; step < 20; step++ {
+			a := randSorted(rng, rng.Intn(50), 4000)
+			b, bv := hub, hubID
+			if rng.Intn(3) == 0 { // sometimes a non-hub pairing
+				b, bv = randSorted(rng, rng.Intn(40), 4000), NoVertex
+			}
+			if !equal(d.Intersect(nil, a, b, NoVertex, bv), refIntersect(a, b)) {
+				return false
+			}
+			// Argument order must not matter.
+			if !equal(d.Intersect(nil, b, a, bv, NoVertex), refIntersect(a, b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatcherPromotesHubOnSecondTouch(t *testing.T) {
+	var counts [NumKernels]uint64
+	d := Dispatcher{HubThreshold: 4, Counts: &counts}
+	hub := ids(1, 2, 3, 4, 5, 6, 7, 8)
+	probe := ids(2, 5, 9)
+	if got := d.Intersect(nil, probe, hub, NoVertex, 7); !equal(got, ids(2, 5)) {
+		t.Fatalf("first touch = %v", got)
+	}
+	if counts[KernelBitmap] != 0 {
+		t.Fatal("bitmap fired on first touch; build thrash guard broken")
+	}
+	if got := d.Intersect(nil, probe, hub, NoVertex, 7); !equal(got, ids(2, 5)) {
+		t.Fatalf("second touch = %v", got)
+	}
+	if counts[KernelBitmap] != 1 {
+		t.Fatalf("bitmap count after second touch = %d, want 1", counts[KernelBitmap])
+	}
+	// Third touch probes the cached bitmap without rebuilding.
+	d.Intersect(nil, probe, hub, NoVertex, 7)
+	if counts[KernelBitmap] != 2 {
+		t.Fatalf("bitmap count after third touch = %d, want 2", counts[KernelBitmap])
+	}
+	// A scratch intermediate (NoVertex) of hub length must never promote.
+	d2 := Dispatcher{HubThreshold: 4, Counts: &counts}
+	for i := 0; i < 3; i++ {
+		d2.Intersect(nil, probe, hub, NoVertex, NoVertex)
+	}
+	if counts[KernelBitmap] != 2 {
+		t.Fatal("NoVertex list was hub-promoted")
+	}
+}
+
+func TestIntersectBoundedGallopPath(t *testing.T) {
+	// Lopsided sizes must agree with the linear reference on bounds,
+	// including lo/hi edge values, the exclusive-bound semantics, and the
+	// lo = all-ones / empty-interval guards.
+	long := make([]graph.VertexID, 20000)
+	for i := range long {
+		long[i] = graph.VertexID(2 * i)
+	}
+	short := ids(0, 2, 5, 1000, 39998)
+	ref := func(a, b []graph.VertexID, lo, hi graph.VertexID) []graph.VertexID {
+		var out []graph.VertexID
+		for _, x := range refIntersect(a, b) {
+			if x > lo && x < hi {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	cases := []struct{ lo, hi graph.VertexID }{
+		{0, ^graph.VertexID(0)}, {0, 1000}, {2, 39998}, {1000, 1000},
+		{39998, ^graph.VertexID(0)}, {^graph.VertexID(0), ^graph.VertexID(0)}, {5, 0},
+	}
+	for _, c := range cases {
+		got := IntersectBounded(nil, short, long, c.lo, c.hi)
+		want := ref(short, long, c.lo, c.hi)
+		if !equal(got, want) {
+			t.Errorf("IntersectBounded(lo=%d, hi=%d) = %v, want %v", c.lo, c.hi, got, want)
+		}
+		// Swapped argument order takes the same clipped path.
+		if got := IntersectBounded(nil, long, short, c.lo, c.hi); !equal(got, want) {
+			t.Errorf("IntersectBounded swapped (lo=%d, hi=%d) = %v, want %v", c.lo, c.hi, got, want)
+		}
+	}
+}
+
+func TestPropertyBoundedMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSorted(rng, rng.Intn(30), 200)
+		b := randSorted(rng, rng.Intn(3000), 6000) // lopsided: gallop path
+		lo := graph.VertexID(rng.Intn(200))
+		hi := lo + graph.VertexID(rng.Intn(100))
+		got := IntersectBounded(nil, a, b, lo, hi)
+		j := 0
+		for _, x := range refIntersect(a, b) {
+			if x > lo && x < hi {
+				if j >= len(got) || got[j] != x {
+					return false
+				}
+				j++
+			}
+		}
+		return j == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Alloc-pinning tests: with warm buffers, the new kernels must never touch
+// the heap in steady state (the hotalloc invariant, pinned at runtime).
+
+func TestIntersectBitmapNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSorted(rng, 200, 4000)
+	hub := randSorted(rng, 1500, 4000)
+	var bm Bitmap
+	bm.Build(hub) // warm the word storage and the retained copy
+	dst := make([]graph.VertexID, 0, 200)
+	allocs := testing.AllocsPerRun(50, func() {
+		bm.Build(hub)
+		dst = IntersectBitmap(dst[:0], a, &bm)
+	})
+	if allocs != 0 {
+		t.Fatalf("bitmap build+probe allocated %.0f times per run with warm storage, want 0", allocs)
+	}
+}
+
+func TestIntersectPivotNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lists := make([][]graph.VertexID, 5)
+	for i := range lists {
+		lists[i] = randSorted(rng, 400, 2000)
+	}
+	dst := make([]graph.VertexID, 0, 400)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = IntersectPivot(dst[:0], lists)
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectPivot allocated %.0f times per run with warm dst, want 0", allocs)
+	}
+}
+
+func TestDispatcherNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSorted(rng, 100, 4000)
+	hub := randSorted(rng, 2000, 4000)
+	d := Dispatcher{HubThreshold: 256}
+	dst := make([]graph.VertexID, 0, 100)
+	// Warm: two touches build the bitmap, growing its storage once.
+	dst = d.Intersect(dst[:0], a, hub, NoVertex, 1)
+	dst = d.Intersect(dst[:0], a, hub, NoVertex, 1)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = d.Intersect(dst[:0], a, hub, NoVertex, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("dispatcher bitmap probe allocated %.0f times per run, want 0", allocs)
+	}
+}
+
+func TestIntersectBoundedNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randSorted(rng, 30, 2000)
+	b := randSorted(rng, 2000, 40000)
+	dst := make([]graph.VertexID, 0, 30)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = IntersectBounded(dst[:0], a, b, 100, 1900)
+	})
+	if allocs != 0 {
+		t.Fatalf("IntersectBounded allocated %.0f times per run with warm dst, want 0", allocs)
+	}
+}
+
+// BenchmarkIntersectHubMerge is the generic-merge baseline on the identical
+// skewed hub input that BenchmarkIntersectBitmap probes: the pair is the
+// before/after evidence for the dispatcher's hub promotion.
+func BenchmarkIntersectHubMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randSorted(rng, 200, 1<<20)
+	hub := randSorted(rng, 100000, 1<<20)
+	dst := make([]graph.VertexID, 0, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectMerge(dst[:0], a, hub)
+	}
+}
+
+func BenchmarkIntersectBitmap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randSorted(rng, 200, 1<<20)
+	hub := randSorted(rng, 100000, 1<<20)
+	var bm Bitmap
+	bm.Build(hub)
+	dst := make([]graph.VertexID, 0, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectBitmap(dst[:0], a, &bm)
+	}
+}
+
+func BenchmarkIntersectPivot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lists := make([][]graph.VertexID, 4)
+	for i := range lists {
+		lists[i] = randSorted(rng, 800, 4000)
+	}
+	lists[2] = randSorted(rng, 60, 4000) // one short pivot list, the clique shape
+	dst := make([]graph.VertexID, 0, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectPivot(dst[:0], lists)
+	}
+}
